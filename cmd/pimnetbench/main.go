@@ -1,0 +1,192 @@
+// Command pimnetbench regenerates the paper's tables and figures on the
+// simulator and prints them as aligned tables (or CSV).
+//
+// Usage:
+//
+//	pimnetbench              # run every experiment with paper-sized inputs
+//	pimnetbench -fig 13      # one experiment
+//	pimnetbench -fig ablations  # the A1-A6 design-choice studies
+//	pimnetbench -scaled      # reduced inputs (seconds instead of minutes)
+//	pimnetbench -csv         # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimnet/internal/experiments"
+	"pimnet/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run: 2, 3, 4 (Table IV), 10, 11, 12, 13, 14, 15, 16, 17, hw, a1-a6, ablations, or all")
+	scaled := flag.Bool("scaled", false, "use reduced workload inputs for a quick run")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	if err := run(*fig, *scaled, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "pimnetbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, scaled, csv bool) error {
+	emit := func(tables ...*report.Table) {
+		for _, t := range tables {
+			if csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t)
+			}
+		}
+	}
+	want := func(name string) bool { return fig == "all" || fig == name }
+	ran := false
+
+	if want("2") {
+		_, t, err := experiments.Fig2Roofline()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("3") {
+		_, _, ts, err := experiments.Fig3Scalability()
+		if err != nil {
+			return err
+		}
+		emit(ts...)
+		ran = true
+	}
+	if want("4") {
+		emit(experiments.Tab4TierTable())
+		ran = true
+	}
+	if want("10") {
+		_, t, err := experiments.Fig10Applications(scaled)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("11") {
+		_, t, err := experiments.Fig11CommBreakdown(scaled)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("12") {
+		_, _, ts, err := experiments.Fig12CollectiveScaling()
+		if err != nil {
+			return err
+		}
+		emit(ts...)
+		ran = true
+	}
+	if want("13") {
+		_, t, err := experiments.Fig13FlowControl()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("14") {
+		_, ta, err := experiments.Fig14BankBandwidth()
+		if err != nil {
+			return err
+		}
+		_, tb, err := experiments.Fig14GlobalBandwidth()
+		if err != nil {
+			return err
+		}
+		emit(ta, tb)
+		ran = true
+	}
+	if want("15") {
+		_, t, err := experiments.Fig15AltPIM(scaled)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("16") {
+		_, t, err := experiments.Fig16ChannelScaling()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("17") {
+		_, t, err := experiments.Fig17MultiTenancy()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("hw") {
+		_, t := experiments.HWOverhead()
+		emit(t)
+		ran = true
+	}
+	if want("ablations") || want("a1") {
+		_, t, err := experiments.AblationFlatVsHierarchical()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("ablations") || want("a2") {
+		_, t, err := experiments.AblationSyncSensitivity()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("ablations") || want("a3") {
+		_, t, err := experiments.AblationWRAMStaging()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("ablations") || want("a4") {
+		_, t, err := experiments.AblationNocParameters()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("ablations") || want("a5") {
+		_, t, err := experiments.AblationInterChannel()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("ablations") || want("a6") {
+		t, err := experiments.AblationBaselineTranspose()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", fig)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Quick experiments only; the workload-based ones run in scaled mode.
+	for _, fig := range []string{"2", "4", "13", "14", "16", "17", "hw", "a2", "a3", "a5", "a6"} {
+		if err := run(fig, true, false); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run("4", true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("nope", true, false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Command pimnetsim runs a single collective or workload on a chosen
+// communication backend and prints the latency breakdown.
+//
+// Usage:
+//
+//	pimnetsim -backend pimnet -pattern allreduce -bytes 32768 -dpus 256
+//	pimnetsim -backend baseline -workload CC -dpus 256
+//	pimnetsim -compare -pattern alltoall -bytes 32768 -dpus 256
+//	pimnetsim -plan -pattern allreduce -dpus 64   # dump the compiled schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pimnet"
+	"pimnet/internal/collective"
+	"pimnet/internal/core"
+	"pimnet/internal/metrics"
+	"pimnet/internal/report"
+)
+
+var patterns = map[string]pimnet.Pattern{
+	"reducescatter": pimnet.ReduceScatter,
+	"allgather":     pimnet.AllGather,
+	"allreduce":     pimnet.AllReduce,
+	"alltoall":      pimnet.AllToAll,
+	"broadcast":     pimnet.Broadcast,
+	"gather":        pimnet.Gather,
+	"reduce":        pimnet.Reduce,
+}
+
+func main() {
+	backendName := flag.String("backend", "pimnet", "baseline | ideal | ndpbridge | dimmlink | pimnet")
+	pattern := flag.String("pattern", "allreduce", "collective pattern")
+	bytesPer := flag.Int64("bytes", 32<<10, "payload bytes per DPU")
+	dpus := flag.Int("dpus", 256, "DPU population (power-of-two shapes of the default hierarchy)")
+	workload := flag.String("workload", "", "run a named workload instead (BFS, CC, GEMV, MLP, SpMV, EMB, NTT, Join)")
+	scaled := flag.Bool("scaled", true, "reduced workload inputs")
+	compare := flag.Bool("compare", false, "run all five backends")
+	plan := flag.Bool("plan", false, "dump the compiled PIMnet schedule instead of executing")
+	flag.Parse()
+
+	if *plan {
+		if err := dumpPlan(*pattern, *bytesPer, *dpus); err != nil {
+			fmt.Fprintln(os.Stderr, "pimnetsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*backendName, *pattern, *bytesPer, *dpus, *workload, *scaled, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "pimnetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func pick(bes []pimnet.Backend, name string) (pimnet.Backend, error) {
+	aliases := map[string]string{
+		"baseline": "Baseline", "ideal": "Software(Ideal)",
+		"ndpbridge": "NDPBridge", "dimmlink": "DIMM-Link", "pimnet": "PIMnet",
+	}
+	want, ok := aliases[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("unknown backend %q", name)
+	}
+	for _, be := range bes {
+		if be.Name() == want {
+			return be, nil
+		}
+	}
+	return nil, fmt.Errorf("backend %q unavailable", name)
+}
+
+func run(backendName, pattern string, bytesPer int64, dpus int, workload string, scaled, compare bool) error {
+	sys, err := pimnet.DefaultSystem().WithDPUs(dpus)
+	if err != nil {
+		return err
+	}
+	bes, err := pimnet.Backends(sys)
+	if err != nil {
+		return err
+	}
+	targets := bes
+	if !compare {
+		be, err := pick(bes, backendName)
+		if err != nil {
+			return err
+		}
+		targets = []pimnet.Backend{be}
+	}
+
+	if workload != "" {
+		return runWorkload(sys, targets, workload, dpus, scaled)
+	}
+	pat, ok := patterns[strings.ToLower(pattern)]
+	if !ok {
+		return fmt.Errorf("unknown pattern %q", pattern)
+	}
+	req := pimnet.Request{Pattern: pat, Op: pimnet.Sum,
+		BytesPerNode: bytesPer, ElemSize: 4, Nodes: dpus}
+	tbl := report.New(fmt.Sprintf("%v, %s per DPU, %d DPUs", pat, report.Bytes(bytesPer), dpus),
+		"backend", "latency", "breakdown")
+	for _, be := range targets {
+		res, err := be.Collective(req)
+		if err != nil {
+			tbl.AddRow(be.Name(), "n/a", err.Error())
+			continue
+		}
+		tbl.AddRow(be.Name(), res.Time.String(), res.Breakdown.String())
+	}
+	fmt.Println(tbl)
+	return nil
+}
+
+func runWorkload(sys pimnet.System, targets []pimnet.Backend, name string, dpus int, scaled bool) error {
+	suite, err := pimnet.EvaluationSuite(dpus, 1, scaled)
+	if err != nil {
+		return err
+	}
+	var wl *pimnet.Workload
+	var names []string
+	for i := range suite {
+		names = append(names, suite[i].Name)
+		if strings.EqualFold(suite[i].Name, name) ||
+			strings.HasPrefix(strings.ToLower(suite[i].Name), strings.ToLower(name)) {
+			wl = &suite[i]
+		}
+	}
+	if wl == nil {
+		return fmt.Errorf("unknown workload %q (have %s)", name, strings.Join(names, ", "))
+	}
+	tbl := report.New(fmt.Sprintf("workload %s, %d DPUs", wl.Name, dpus),
+		"backend", "total", "compute", "communication", "comm fraction")
+	for _, be := range targets {
+		m, err := pimnet.NewMachine(sys, be)
+		if err != nil {
+			return err
+		}
+		rep, err := m.Run(*wl)
+		if err != nil {
+			tbl.AddRow(be.Name(), "n/a", "", "", "")
+			continue
+		}
+		tbl.AddRow(be.Name(), rep.Total.String(),
+			rep.Breakdown.Get(metrics.Compute).String(),
+			rep.Breakdown.CommTotal().String(),
+			report.Pct(rep.CommFraction()))
+	}
+	fmt.Println(tbl)
+	return nil
+}
+
+// dumpPlan prints the statically compiled PIMnet schedule for one
+// collective — the artifact the host uploads at kernel launch (Fig. 5c/d).
+func dumpPlan(pattern string, bytesPer int64, dpus int) error {
+	pat, ok := patterns[strings.ToLower(pattern)]
+	if !ok {
+		return fmt.Errorf("unknown pattern %q", pattern)
+	}
+	sys, err := pimnet.DefaultSystem().WithDPUs(dpus)
+	if err != nil {
+		return err
+	}
+	net, err := core.NewNetwork(sys)
+	if err != nil {
+		return err
+	}
+	req := collective.Request{Pattern: pat, Op: collective.Sum,
+		BytesPerNode: bytesPer, ElemSize: 4, Nodes: dpus}
+	plan, err := core.PlanFor(net, req)
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.Describe())
+	v := plan.Volumes()
+	fmt.Printf("scheduled volumes: inter-bank %s, inter-chip %s, inter-rank %s\n",
+		report.Bytes(v.Bank), report.Bytes(v.Chip), report.Bytes(v.Rank))
+	return nil
+}

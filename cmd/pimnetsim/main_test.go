@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestRunCollective(t *testing.T) {
+	if err := run("pimnet", "allreduce", 4096, 64, "", true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("baseline", "alltoall", 4096, 256, "", true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	if err := run("pimnet", "", 0, 256, "MLP", true, false); err != nil {
+		t.Fatal(err)
+	}
+	// Prefix match on workload names.
+	if err := run("pimnet", "", 0, 256, "gemv", true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nosuch", "allreduce", 4096, 64, "", true, false); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := run("pimnet", "nosuch", 4096, 64, "", true, false); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+	if err := run("pimnet", "", 0, 256, "NoSuchWorkload", true, false); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := run("pimnet", "allreduce", 4096, 13, "", true, false); err == nil {
+		t.Fatal("unshapeable DPU count accepted")
+	}
+}
+
+func TestDumpPlan(t *testing.T) {
+	for _, pat := range []string{"allreduce", "alltoall", "reducescatter", "broadcast"} {
+		if err := dumpPlan(pat, 32<<10, 256); err != nil {
+			t.Fatalf("%s: %v", pat, err)
+		}
+	}
+	if err := dumpPlan("nosuch", 1024, 64); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+	if err := dumpPlan("allreduce", 1024, 13); err == nil {
+		t.Fatal("unshapeable population accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package pimnet_test
+
+import (
+	"fmt"
+	"log"
+
+	"pimnet"
+)
+
+// Example reproduces the paper's headline comparison: one 32 KiB-per-DPU
+// AllReduce over a full 256-DPU memory channel, on the commodity
+// host-relayed path and on PIMnet.
+func Example() {
+	sys, err := pimnet.DefaultSystem().WithDPUs(256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := pimnet.Request{
+		Pattern: pimnet.AllReduce, Op: pimnet.Sum,
+		BytesPerNode: 32 << 10, ElemSize: 4, Nodes: 256,
+	}
+	baseline, _ := pimnet.NewBaseline(sys)
+	p, _ := pimnet.NewPIMnet(sys)
+	rb, err := baseline.Collective(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rp, err := p.Collective(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline %v\n", rb.Time)
+	fmt.Printf("pimnet   %v\n", rp.Time)
+	fmt.Printf("speedup  %.1fx\n", float64(rb.Time)/float64(rp.Time))
+	// Output:
+	// baseline 5.51ms
+	// pimnet   111.33us
+	// speedup  49.5x
+}

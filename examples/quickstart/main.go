@@ -1,0 +1,44 @@
+// Quickstart: run one 32 KB-per-DPU AllReduce over a full 256-DPU memory
+// channel on all five communication designs and print the latency and
+// where the time goes. This is the paper's headline comparison in about
+// twenty lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimnet"
+)
+
+func main() {
+	sys, err := pimnet.DefaultSystem().WithDPUs(256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backends, err := pimnet.Backends(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := pimnet.Request{
+		Pattern:      pimnet.AllReduce,
+		Op:           pimnet.Sum,
+		BytesPerNode: 32 << 10,
+		ElemSize:     4,
+		Nodes:        256,
+	}
+	fmt.Printf("AllReduce, 32 KiB per DPU, %d DPUs on one DDR4 channel\n\n", req.Nodes)
+	var baseline pimnet.Time
+	for _, be := range backends {
+		res, err := be.Collective(req)
+		if err != nil {
+			fmt.Printf("%-16s unsupported: %v\n", be.Name(), err)
+			continue
+		}
+		if be.Name() == "Baseline" {
+			baseline = res.Time
+		}
+		fmt.Printf("%-16s %10v  (%.1fx vs baseline)  %s\n",
+			be.Name(), res.Time, float64(baseline)/float64(res.Time), res.Breakdown.String())
+	}
+}

@@ -1,0 +1,3 @@
+module pimnet
+
+go 1.22

@@ -1,0 +1,32 @@
+// Package backend defines the interface every collective-communication
+// implementation exposes: PIMnet itself (internal/core), the host-based
+// Baseline and Software(Ideal) paths (internal/host), and the DIMM-Link and
+// NDPBridge prior-work models (internal/baselines). The evaluation harness
+// treats them uniformly: the compute side of a workload is identical across
+// backends (the paper's fairness rule); only collective time differs.
+package backend
+
+import (
+	"pimnet/internal/collective"
+	"pimnet/internal/metrics"
+	"pimnet/internal/sim"
+)
+
+// Result is the outcome of one collective invocation.
+type Result struct {
+	Time      sim.Time          // end-to-end latency of the collective
+	Breakdown metrics.Breakdown // attribution of that latency
+}
+
+// Backend executes collectives on a particular communication substrate.
+// Implementations must be deterministic: the same request sequence yields
+// the same results.
+type Backend interface {
+	// Name returns the short label used in figures ("PIMnet", "Baseline",
+	// "Software(Ideal)", "DIMM-Link", "NDPBridge").
+	Name() string
+	// Collective returns the simulated cost of one collective operation.
+	// Implementations that do not support a pattern (e.g. NDPBridge has no
+	// reduction support) return an error.
+	Collective(req collective.Request) (Result, error)
+}

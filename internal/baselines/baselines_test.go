@@ -1,0 +1,150 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+
+	"pimnet/internal/collective"
+	"pimnet/internal/config"
+	"pimnet/internal/metrics"
+)
+
+func request(pat collective.Pattern, bytes int64, nodes int) collective.Request {
+	return collective.Request{Pattern: pat, Op: collective.Sum,
+		BytesPerNode: bytes, ElemSize: 4, Nodes: nodes}
+}
+
+func TestDIMMLinkSupportsAllPatterns(t *testing.T) {
+	d, err := NewDIMMLink(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "DIMM-Link" {
+		t.Fatal("name wrong")
+	}
+	for _, pat := range []collective.Pattern{
+		collective.ReduceScatter, collective.AllGather, collective.AllReduce,
+		collective.AllToAll, collective.Broadcast, collective.Gather, collective.Reduce,
+	} {
+		res, err := d.Collective(request(pat, 32<<10, 256))
+		if err != nil {
+			t.Fatalf("%v: %v", pat, err)
+		}
+		if res.Time <= 0 {
+			t.Fatalf("%v: zero time", pat)
+		}
+		if res.Breakdown.Get(metrics.HostXfer) != 0 {
+			t.Fatalf("%v: DIMM-Link must not use the host", pat)
+		}
+	}
+}
+
+func TestDIMMLinkNoBankParallelism(t *testing.T) {
+	// All local traffic funnels through the buffer chip: growing the
+	// population within a rank grows local collective time ~linearly,
+	// unlike PIMnet's flat inter-bank phase.
+	d, _ := NewDIMMLink(config.Default())
+	r8, err := d.Collective(request(collective.AllReduce, 32<<10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r64, err := d.Collective(request(collective.AllReduce, 32<<10, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r64.Time < r8.Time*4 {
+		t.Fatalf("buffer-chip funnel should scale with banks: %v at 8, %v at 64", r8.Time, r64.Time)
+	}
+}
+
+func TestDIMMLinkRankParallel(t *testing.T) {
+	// Ranks operate in parallel: 4x the population across 4 ranks costs
+	// roughly the same local time plus the small inter-rank exchange.
+	d, _ := NewDIMMLink(config.Default())
+	r64, _ := d.Collective(request(collective.AllReduce, 32<<10, 64))
+	r256, _ := d.Collective(request(collective.AllReduce, 32<<10, 256))
+	if r256.Time > r64.Time*3/2 {
+		t.Fatalf("rank parallelism missing: %v at 64, %v at 256", r64.Time, r256.Time)
+	}
+}
+
+func TestNDPBridgeRejectsReductions(t *testing.T) {
+	n, err := NewNDPBridge(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() != "NDPBridge" {
+		t.Fatal("name wrong")
+	}
+	for _, pat := range []collective.Pattern{
+		collective.ReduceScatter, collective.AllReduce, collective.Reduce,
+	} {
+		if _, err := n.Collective(request(pat, 1024, 256)); !errors.Is(err, ErrNoReduction) {
+			t.Fatalf("%v: want ErrNoReduction, got %v", pat, err)
+		}
+	}
+}
+
+func TestNDPBridgeAllToAll(t *testing.T) {
+	n, _ := NewNDPBridge(config.Default())
+	res, err := n.Collective(request(collective.AllToAll, 32<<10, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breakdown.Get(metrics.HostXfer) == 0 {
+		t.Error("NDPBridge cross-rank traffic must go through the host")
+	}
+	if res.Breakdown.Get(metrics.InterChip) == 0 {
+		t.Error("NDPBridge intra-rank traffic must use the bridges")
+	}
+	// Single-rank scope avoids the host entirely.
+	res1, err := n.Collective(request(collective.AllToAll, 32<<10, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Breakdown.Get(metrics.HostXfer) != 0 {
+		t.Error("one-rank NDPBridge A2A should not touch the host")
+	}
+}
+
+func TestNDPBridgeOtherPatterns(t *testing.T) {
+	n, _ := NewNDPBridge(config.Default())
+	for _, pat := range []collective.Pattern{collective.AllGather, collective.Gather} {
+		if _, err := n.Collective(request(pat, 4<<10, 256)); err != nil {
+			t.Fatalf("%v: %v", pat, err)
+		}
+	}
+	bc, err := n.Collective(collective.Request{Pattern: collective.Broadcast,
+		BytesPerNode: 4 << 10, ElemSize: 4, Nodes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Time <= 0 {
+		t.Fatal("broadcast zero time")
+	}
+}
+
+func TestBaselineScopeAndConfigErrors(t *testing.T) {
+	bad := config.Default()
+	bad.ChipsPerRank = 0
+	if _, err := NewDIMMLink(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := NewNDPBridge(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	d, _ := NewDIMMLink(config.Default())
+	if _, err := d.Collective(request(collective.AllReduce, 1024, 999)); err == nil {
+		t.Fatal("oversized scope accepted")
+	}
+	nb, _ := NewNDPBridge(config.Default())
+	if _, err := nb.Collective(request(collective.AllToAll, 1024, 999)); err == nil {
+		t.Fatal("oversized scope accepted")
+	}
+	if _, err := nb.Collective(request(collective.AllToAll, 1023, 16)); err == nil {
+		t.Fatal("invalid request accepted")
+	}
+	if _, err := d.Collective(request(collective.AllToAll, 1023, 16)); err == nil {
+		t.Fatal("invalid request accepted")
+	}
+}

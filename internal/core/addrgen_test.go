@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"pimnet/internal/collective"
+	"pimnet/internal/config"
+	"pimnet/internal/sim"
+)
+
+func addrParams() AddrParams {
+	return AddrParams{
+		Banks: 8, Chips: 8, Ranks: 4,
+		Bank: 3, Chip: 2, Rank: 1,
+		DataBytes: 32 << 10,
+		BaseAddr:  0x1000,
+		Times: PhaseTimes{
+			RSBank: 10 * sim.Microsecond,
+			RSChip: 20 * sim.Microsecond,
+			RSRank: 5 * sim.Microsecond,
+			AGRank: 5 * sim.Microsecond,
+			AGChip: 20 * sim.Microsecond,
+			AGBank: 10 * sim.Microsecond,
+		},
+	}
+}
+
+func TestAlgorithm1BankDomain(t *testing.T) {
+	p := addrParams()
+	rs, err := ScheduleAllReduce(DomainBank, PhaseRS, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: offset = 0, Addr_s = Addr_B + D/N_B * I_B.
+	if rs.Offset != 0 {
+		t.Fatalf("bank RS offset = %v, want 0", rs.Offset)
+	}
+	wantAddr := p.BaseAddr + (p.DataBytes/8)*3
+	if rs.StartAddr != wantAddr {
+		t.Fatalf("bank RS addr = %#x, want %#x", rs.StartAddr, wantAddr)
+	}
+	ag, err := ScheduleAllReduce(DomainBank, PhaseAG, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: offset = T_RS_B + T_RS_C + T_RS_R + T_AG_R + T_AG_C.
+	wantOff := 10*sim.Microsecond + 20*sim.Microsecond + 5*sim.Microsecond +
+		5*sim.Microsecond + 20*sim.Microsecond
+	if ag.Offset != wantOff {
+		t.Fatalf("bank AG offset = %v, want %v", ag.Offset, wantOff)
+	}
+	// Addr_s = Addr_B + D/N_B * ((I_B + N_B - 1) % N_B) = chunk 2.
+	wantAddr = p.BaseAddr + (p.DataBytes/8)*2
+	if ag.StartAddr != wantAddr {
+		t.Fatalf("bank AG addr = %#x, want %#x", ag.StartAddr, wantAddr)
+	}
+}
+
+func TestAlgorithm1OffsetsOrdered(t *testing.T) {
+	// Phase start offsets must be nondecreasing along the pipeline:
+	// bank RS <= chip RS <= rank RS <= rank AG <= chip AG <= bank AG.
+	p := addrParams()
+	var offs []sim.Time
+	for _, dp := range []struct {
+		d  Domain
+		ph PhaseKind
+	}{
+		{DomainBank, PhaseRS}, {DomainChip, PhaseRS}, {DomainRank, PhaseRS},
+		{DomainRank, PhaseAG}, {DomainChip, PhaseAG}, {DomainBank, PhaseAG},
+	} {
+		s, err := ScheduleAllReduce(dp.d, dp.ph, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, s.Offset)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			t.Fatalf("offsets not ordered: %v", offs)
+		}
+	}
+}
+
+func TestAlgorithm1AddressesInBounds(t *testing.T) {
+	p := addrParams()
+	for bank := 0; bank < p.Banks; bank++ {
+		for chip := 0; chip < p.Chips; chip++ {
+			q := p
+			q.Bank, q.Chip = bank, chip
+			for _, d := range []Domain{DomainBank, DomainChip, DomainRank} {
+				for _, ph := range []PhaseKind{PhaseRS, PhaseAG} {
+					s, err := ScheduleAllReduce(d, ph, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if s.StartAddr < p.BaseAddr || s.StartAddr >= p.BaseAddr+p.DataBytes {
+						t.Fatalf("domain %v phase %v bank %d chip %d: addr %#x out of payload",
+							d, ph, bank, chip, s.StartAddr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAlgorithm1BankAddressesDistinct(t *testing.T) {
+	// Within one chip, the RS start addresses of all banks must be distinct
+	// (each bank starts from its own chunk).
+	p := addrParams()
+	seen := map[int64]bool{}
+	for bank := 0; bank < p.Banks; bank++ {
+		q := p
+		q.Bank = bank
+		s, err := ScheduleAllReduce(DomainBank, PhaseRS, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[s.StartAddr] {
+			t.Fatalf("duplicate RS start address %#x", s.StartAddr)
+		}
+		seen[s.StartAddr] = true
+	}
+}
+
+func TestAlgorithm1Validation(t *testing.T) {
+	bad := []AddrParams{
+		{Banks: 0, Chips: 1, Ranks: 1},
+		{Banks: 8, Chips: 8, Ranks: 4, Bank: 8},
+		{Banks: 8, Chips: 8, Ranks: 4, Chip: -1},
+		{Banks: 8, Chips: 8, Ranks: 4, Rank: 4},
+		{Banks: 8, Chips: 8, Ranks: 4, DataBytes: -2},
+	}
+	for i, p := range bad {
+		if _, err := ScheduleAllReduce(DomainBank, PhaseRS, p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if _, err := ScheduleAllReduce(Domain(9), PhaseRS, addrParams()); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}
+
+func TestAllToAllSendAddrs(t *testing.T) {
+	addrs := AllToAllSendAddrs(0x2000, 1024, 8)
+	if len(addrs) != 8 {
+		t.Fatalf("len = %d", len(addrs))
+	}
+	if addrs[0] != 0x2000 {
+		t.Fatalf("addr[0] = %#x", addrs[0])
+	}
+	for j := 1; j < 8; j++ {
+		if addrs[j] <= addrs[j-1] {
+			t.Fatalf("addresses not strictly increasing: %v", addrs)
+		}
+	}
+	if addrs[7] >= 0x2000+1024 {
+		t.Fatalf("addr[7] = %#x beyond payload", addrs[7])
+	}
+}
+
+func TestPhaseTimesFromPlan(t *testing.T) {
+	sys, _ := config.Default().WithDPUs(256)
+	net, err := NewNetwork(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanFor(net, collective.Request{Pattern: collective.AllReduce,
+		Op: collective.Sum, BytesPerNode: 32 << 10, ElemSize: 4, Nodes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := PhaseTimesFromPlan(net, plan)
+	if pt.RSBank <= 0 || pt.RSChip <= 0 || pt.RSRank <= 0 || pt.AGChip <= 0 || pt.AGBank <= 0 {
+		t.Fatalf("phase times incomplete: %+v", pt)
+	}
+	// RS and AG mirror volumes on bank/chip tiers; AG has no reduce, so it
+	// can only be as fast or faster.
+	if pt.AGBank > pt.RSBank {
+		t.Fatalf("bank AG (%v) slower than bank RS (%v)", pt.AGBank, pt.RSBank)
+	}
+	if pt.AGChip > pt.RSChip {
+		t.Fatalf("chip AG (%v) slower than chip RS (%v)", pt.AGChip, pt.RSChip)
+	}
+	// The extracted phase times must feed Algorithm 1 consistently: the AG
+	// offset equals the sum of everything before it.
+	s, err := ScheduleAllReduce(DomainBank, PhaseAG, AddrParams{
+		Banks: 8, Chips: 8, Ranks: 4, DataBytes: 32 << 10, Times: pt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pt.RSBank + pt.RSChip + pt.RSRank + pt.AGRank + pt.AGChip
+	if s.Offset != want {
+		t.Fatalf("AG offset %v != phase sum %v", s.Offset, want)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+
+	"pimnet/internal/backend"
+	"pimnet/internal/metrics"
+	"pimnet/internal/sim"
+)
+
+// Execute runs a compiled plan on the network starting at t=0 and returns
+// the end-to-end latency with its breakdown. Steps are lock-step: every
+// transfer of a step is released together (the static schedule's START
+// semantics) and the next step begins when the slowest transfer and the
+// pipelined reduction both finish. The network's link state is reset first,
+// so Execute is repeatable.
+func (n *Network) Execute(p *Plan) (backend.Result, error) {
+	if err := p.CheckContention(); err != nil {
+		return backend.Result{}, err
+	}
+	n.Reset()
+	var bd metrics.Breakdown
+	var now sim.Time
+
+	// MRAM<->WRAM staging for payloads that exceed the scratchpad.
+	if p.MemBytes > 0 {
+		now += n.memTime(p.MemBytes)
+		bd.Add(metrics.Mem, now)
+	}
+
+	// READY/START synchronization: one tree traversal launches the whole
+	// statically timed schedule (Section IV-C); the per-phase WAIT offsets
+	// are already baked into the lock-step execution.
+	sync := n.SyncLatency()
+	now += sync
+	bd.Add(metrics.Sync, sync)
+
+	for _, ph := range p.Phases {
+		phaseStart := now
+		for _, st := range ph.Steps {
+			stepStart := now
+			if ph.Pipelined {
+				stepStart = phaseStart
+			} else {
+				stepStart += sim.Time(n.stepOverheadPs)
+			}
+			end := stepStart
+			for _, tr := range st.Transfers {
+				_, done := tr.Link.Reserve(stepStart, tr.Bytes)
+				if done > end {
+					end = done
+				}
+			}
+			if st.ReduceBytesPerNode > 0 {
+				r := stepStart + n.reduceTime(st.ReduceBytesPerNode, p.Req.ElemSize)
+				if r > end {
+					end = r
+				}
+			}
+			if ph.Pipelined && end < now {
+				end = now
+			}
+			now = end
+		}
+		bd.Add(ph.Tier.Component(), now-phaseStart)
+	}
+	return backend.Result{Time: now, Breakdown: bd}, nil
+}
+
+// memTime converts a DMA staging volume into time: sustained DMA bandwidth
+// plus a fixed setup latency per WRAM-sized burst. All DPUs stage in
+// parallel, so this is charged once.
+func (n *Network) memTime(bytes int64) sim.Time {
+	d := n.Sys.DPU
+	usable := d.WRAMBytes / 2
+	if usable <= 0 {
+		usable = 1
+	}
+	bursts := (bytes + usable - 1) / usable
+	return sim.TransferTime(bytes, d.DMABandwidth) + sim.Time(bursts)*d.DMALatency
+}
+
+// reduceTime is the DPU-side cost of combining the received stream into the
+// local buffer. The reduction loop is pipelined across tasklets, streaming
+// one element per AddCycles; ComputeScale models faster PIM compute
+// (Fig. 15 alternative-PIM analysis).
+func (n *Network) reduceTime(bytes int64, elemSize int) sim.Time {
+	if elemSize <= 0 {
+		elemSize = 4
+	}
+	d := n.Sys.DPU
+	elems := (bytes + int64(elemSize) - 1) / int64(elemSize)
+	cycles := int64(math.Ceil(float64(elems) * d.AddCycles / d.ComputeScale))
+	return sim.Cycles(cycles, d.FreqHz)
+}

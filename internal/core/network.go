@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"pimnet/internal/config"
+	"pimnet/internal/sim"
+)
+
+// Network instantiates the PIMnet resources for one memory channel:
+//
+//   - per chip, one effective ring channel per bank hop (the four 16-bit
+//     unidirectional bank-I/O channels give every hop 2x the per-channel
+//     rate when a bidirectional ring algorithm streams both directions);
+//   - per chip, one DQ send channel and one DQ receive channel into the
+//     buffer-chip crossbar;
+//   - one half-duplex DDR bus shared by all ranks.
+//
+// All resources are sim.Links; the static scheduler guarantees by
+// construction (and the contention checker verifies) that crossbar and bus
+// steps never overlap conflicting transfers, which is what lets the
+// hardware omit buffers and arbitration.
+type Network struct {
+	Sys  config.System
+	Topo Topology
+
+	ringHop  [][][]*sim.Link // [rank][chip][bank]: bank -> bank+1 ring segment
+	chipSend [][]*sim.Link   // [rank][chip]: chip -> crossbar
+	chipRecv [][]*sim.Link   // [rank][chip]: crossbar -> chip
+	rankBus  *sim.Link       // shared multi-drop DDR bus
+
+	// stepOverheadPs is an optional fixed guard charged at every lock-step
+	// boundary (ablation knob; see SetStepOverhead).
+	stepOverheadPs int64
+}
+
+// NewNetwork builds the PIMnet resource graph for the configured channel.
+func NewNetwork(sys config.System) (*Network, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	topo := Topology{Ranks: sys.Ranks, Chips: sys.ChipsPerRank, Banks: sys.BanksPerChip}
+	n := &Network{Sys: sys, Topo: topo}
+	n.ringHop = make([][][]*sim.Link, topo.Ranks)
+	n.chipSend = make([][]*sim.Link, topo.Ranks)
+	n.chipRecv = make([][]*sim.Link, topo.Ranks)
+	ringBW := sys.BankRingBW()
+	for r := 0; r < topo.Ranks; r++ {
+		n.ringHop[r] = make([][]*sim.Link, topo.Chips)
+		n.chipSend[r] = make([]*sim.Link, topo.Chips)
+		n.chipRecv[r] = make([]*sim.Link, topo.Chips)
+		for c := 0; c < topo.Chips; c++ {
+			n.ringHop[r][c] = make([]*sim.Link, topo.Banks)
+			for b := 0; b < topo.Banks; b++ {
+				name := fmt.Sprintf("ring[r%d,c%d,b%d]", r, c, b)
+				n.ringHop[r][c][b] = sim.NewLink(name, ringBW, sys.Net.BankHopLat)
+			}
+			n.chipSend[r][c] = sim.NewLink(fmt.Sprintf("dq-send[r%d,c%d]", r, c),
+				sys.Net.ChipChannelBW, sys.Net.ChipHopLat+sys.Net.SwitchLat)
+			n.chipRecv[r][c] = sim.NewLink(fmt.Sprintf("dq-recv[r%d,c%d]", r, c),
+				sys.Net.ChipChannelBW, sys.Net.ChipHopLat)
+		}
+	}
+	n.rankBus = sim.NewLink("ddr-bus", sys.Net.RankBusBW, sys.Net.RankBusLat)
+	return n, nil
+}
+
+// Reset clears all reservations so the network can run another experiment.
+func (n *Network) Reset() {
+	for _, rank := range n.ringHop {
+		for _, chip := range rank {
+			for _, l := range chip {
+				l.Reset()
+			}
+		}
+	}
+	for r := range n.chipSend {
+		for c := range n.chipSend[r] {
+			n.chipSend[r][c].Reset()
+			n.chipRecv[r][c].Reset()
+		}
+	}
+	n.rankBus.Reset()
+}
+
+// RingLink returns the ring segment from bank b to its clockwise successor
+// within (rank, chip).
+func (n *Network) RingLink(rank, chip, bank int) *sim.Link { return n.ringHop[rank][chip][bank] }
+
+// ChipSendLink returns the chip's DQ send channel into the crossbar.
+func (n *Network) ChipSendLink(rank, chip int) *sim.Link { return n.chipSend[rank][chip] }
+
+// ChipRecvLink returns the chip's DQ receive channel from the crossbar.
+func (n *Network) ChipRecvLink(rank, chip int) *sim.Link { return n.chipRecv[rank][chip] }
+
+// Bus returns the shared inter-rank DDR bus.
+func (n *Network) Bus() *sim.Link { return n.rankBus }
+
+// SyncLatency returns the READY/START propagation cost for a collective
+// whose scope spans the given number of hierarchy levels: within one chip
+// only the control interface unit participates; across chips the inter-chip
+// switch aggregates; across ranks the inter-rank switch does (Section IV-C).
+func (n *Network) SyncLatency() sim.Time {
+	switch {
+	case n.Topo.Ranks > 1:
+		return n.Sys.Net.SyncRankLat
+	case n.Topo.Chips > 1:
+		return n.Sys.Net.SyncChipLat
+	default:
+		return n.Sys.Net.SyncBankLat
+	}
+}
+
+// ScaleBankBandwidth rewrites every ring segment for a new per-channel
+// inter-bank bandwidth (Fig. 14a sensitivity sweep).
+func (n *Network) ScaleBankBandwidth(perChannelBW float64) {
+	sys := n.Sys
+	sys.Net.BankChannelBW = perChannelBW
+	eff := sys.BankRingBW()
+	n.Sys = sys
+	for _, rank := range n.ringHop {
+		for _, chip := range rank {
+			for _, l := range chip {
+				l.SetBandwidth(eff)
+			}
+		}
+	}
+}
+
+// ScaleGlobalBandwidth rewrites the inter-chip channels and the rank bus by
+// a common factor (Fig. 14b sensitivity sweep).
+func (n *Network) ScaleGlobalBandwidth(factor float64) {
+	n.Sys.Net.ChipChannelBW *= factor
+	n.Sys.Net.RankBusBW *= factor
+	for r := range n.chipSend {
+		for c := range n.chipSend[r] {
+			n.chipSend[r][c].SetBandwidth(n.Sys.Net.ChipChannelBW)
+			n.chipRecv[r][c].SetBandwidth(n.Sys.Net.ChipChannelBW)
+		}
+	}
+	n.rankBus.SetBandwidth(n.Sys.Net.RankBusBW)
+}

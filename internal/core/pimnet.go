@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"pimnet/internal/backend"
+	"pimnet/internal/collective"
+	"pimnet/internal/config"
+)
+
+// PIMnet is the collective backend implemented by the paper's proposed
+// interconnect: compile the request into a static schedule, verify it is
+// contention-free, and execute it on the three network tiers.
+type PIMnet struct {
+	net *Network
+}
+
+var _ backend.Backend = (*PIMnet)(nil)
+
+// NewPIMnet builds the PIMnet backend for one memory channel of the system.
+func NewPIMnet(sys config.System) (*PIMnet, error) {
+	n, err := NewNetwork(sys)
+	if err != nil {
+		return nil, err
+	}
+	return &PIMnet{net: n}, nil
+}
+
+// Name implements backend.Backend.
+func (p *PIMnet) Name() string { return "PIMnet" }
+
+// Network exposes the underlying resource graph for sensitivity sweeps
+// (Fig. 14) and diagnostics.
+func (p *PIMnet) Network() *Network { return p.net }
+
+// Collective implements backend.Backend.
+func (p *PIMnet) Collective(req collective.Request) (backend.Result, error) {
+	plan, err := PlanFor(p.net, req)
+	if err != nil {
+		return backend.Result{}, fmt.Errorf("pimnet: %w", err)
+	}
+	return p.net.Execute(plan)
+}

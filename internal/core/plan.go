@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"pimnet/internal/metrics"
+	"pimnet/internal/sim"
+
+	"pimnet/internal/collective"
+)
+
+// Tier identifies which PIMnet tier a phase runs on.
+type Tier int
+
+// Tiers in packaging order.
+const (
+	TierBank Tier = iota
+	TierChip
+	TierRank
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case TierBank:
+		return "inter-bank"
+	case TierChip:
+		return "inter-chip"
+	case TierRank:
+		return "inter-rank"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Component maps a tier to its breakdown component.
+func (t Tier) Component() metrics.Component {
+	switch t {
+	case TierBank:
+		return metrics.InterBank
+	case TierChip:
+		return metrics.InterChip
+	case TierRank:
+		return metrics.InterRank
+	default:
+		panic(fmt.Sprintf("core: unknown tier %d", int(t)))
+	}
+}
+
+// Kind classifies a resource for contention checking.
+type Kind int
+
+// Resource kinds. Ring segments may be time-multiplexed within a step (the
+// static schedule serializes flows deliberately, e.g. the all-to-all shift
+// steps); crossbar ports and the bus must carry at most one transfer per
+// step — that is the hardware property that lets PIMnet omit buffers and
+// arbitration.
+const (
+	KindRing Kind = iota
+	KindCrossbarPort
+	KindBus
+)
+
+// Transfer is one scheduled link reservation.
+type Transfer struct {
+	Link  *sim.Link
+	Kind  Kind
+	Bytes int64
+}
+
+// Step is a synchronized communication step: all transfers start together
+// once the previous step has fully completed (lock-step static schedule).
+type Step struct {
+	Transfers []Transfer
+	// ReduceBytesPerNode is the volume each receiving DPU combines into its
+	// local buffer during this step (zero for non-reducing patterns). The
+	// DPU streams the reduction concurrently with reception, so a step
+	// lasts max(transfer, reduce).
+	ReduceBytesPerNode int64
+}
+
+// Phase is a sequence of steps on one tier. A pipelined phase releases all
+// steps together and lets the shared resources serialize them in schedule
+// order (the buffer chip streams the next pair's data off the DQ pins while
+// the bus carries the current pair); a non-pipelined phase is lock-step.
+type Phase struct {
+	Name      string
+	Tier      Tier
+	Steps     []Step
+	Pipelined bool
+}
+
+// Plan is a fully compiled, statically scheduled collective.
+type Plan struct {
+	Req    collective.Request
+	Topo   Topology
+	Phases []Phase
+	// MemBytes is the MRAM<->WRAM DMA staging volume per DPU charged when
+	// the payload exceeds the WRAM communication buffer (the paper's "Mem"
+	// overhead).
+	MemBytes int64
+}
+
+// TotalTransferBytes sums scheduled bytes across all phases (diagnostics).
+func (p *Plan) TotalTransferBytes() int64 {
+	var total int64
+	for _, ph := range p.Phases {
+		for _, st := range ph.Steps {
+			for _, tr := range st.Transfers {
+				total += tr.Bytes
+			}
+		}
+	}
+	return total
+}
+
+// TierBytes sums scheduled bytes on one tier.
+func (p *Plan) TierBytes(t Tier) int64 {
+	var total int64
+	for _, ph := range p.Phases {
+		if ph.Tier != t {
+			continue
+		}
+		for _, st := range ph.Steps {
+			for _, tr := range st.Transfers {
+				total += tr.Bytes
+			}
+		}
+	}
+	return total
+}
+
+// CheckContention verifies the static-schedule property: within any single
+// step, every crossbar port and the bus appear in at most one transfer.
+// A violation means the compiler produced a schedule the bufferless
+// hardware could not execute; it is always a bug.
+func (p *Plan) CheckContention() error {
+	for pi, ph := range p.Phases {
+		for si, st := range ph.Steps {
+			seen := make(map[*sim.Link]int)
+			for _, tr := range st.Transfers {
+				if tr.Bytes < 0 {
+					return fmt.Errorf("core: phase %d (%s) step %d: negative transfer", pi, ph.Name, si)
+				}
+				if tr.Link == nil {
+					return fmt.Errorf("core: phase %d (%s) step %d: nil link", pi, ph.Name, si)
+				}
+				seen[tr.Link]++
+				if tr.Kind != KindRing && seen[tr.Link] > 1 {
+					return fmt.Errorf("core: phase %d (%s) step %d: %s scheduled %d times in one step",
+						pi, ph.Name, si, tr.Link.Name(), seen[tr.Link])
+				}
+			}
+		}
+	}
+	return nil
+}

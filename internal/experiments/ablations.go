@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pimnet/internal/collective"
+	"pimnet/internal/config"
+	"pimnet/internal/core"
+	"pimnet/internal/host"
+	"pimnet/internal/machine"
+	"pimnet/internal/metrics"
+	"pimnet/internal/noc"
+	"pimnet/internal/report"
+	"pimnet/internal/sim"
+	"pimnet/internal/workloads"
+)
+
+// This file holds the ablation studies DESIGN.md calls out — experiments
+// beyond the paper's figures that probe the design choices the paper
+// asserts: why the schedule is hierarchical (A1), how sensitive the design
+// is to READY/START latency (A2), when WRAM staging starts to matter (A3),
+// how the flow-control result depends on buffering and packetization (A4),
+// and the paper's explicitly-open future-work question of extending PIMnet
+// across memory channels (A5).
+
+// FlatVsHierRow compares the Table V hierarchical AllReduce against a flat
+// whole-population ring at one per-step overhead setting.
+type FlatVsHierRow struct {
+	StepOverhead  sim.Time
+	Hierarchical  sim.Time
+	FlatRing      sim.Time
+	HierAdvantage float64 // flat / hier
+}
+
+// AblationFlatVsHierarchical (A1): the flat ring matches hierarchical
+// bandwidth on paper, but needs 2*(P-1) = 510 globally synchronized steps
+// instead of ~20; as per-step overhead (sync skew, bus turnaround, control
+// distribution) grows, the hierarchy's shallow schedule wins decisively.
+func AblationFlatVsHierarchical() ([]FlatVsHierRow, *report.Table, error) {
+	sys, err := config.Default().WithDPUs(256)
+	if err != nil {
+		return nil, nil, err
+	}
+	req := request(collective.AllReduce, collective.Sum, 256)
+	tbl := report.New("Ablation A1 — hierarchical vs flat-ring AllReduce (256 DPUs, 32 KiB)",
+		"per-step overhead", "hierarchical", "flat ring", "flat/hier")
+	var rows []FlatVsHierRow
+	for _, oh := range []sim.Time{0, 10 * sim.Nanosecond, 50 * sim.Nanosecond,
+		200 * sim.Nanosecond, 1 * sim.Microsecond} {
+		net, err := core.NewNetwork(sys)
+		if err != nil {
+			return nil, nil, err
+		}
+		net.SetStepOverhead(int64(oh))
+		hier, err := core.PlanFor(net, req)
+		if err != nil {
+			return nil, nil, err
+		}
+		hres, err := net.Execute(hier)
+		if err != nil {
+			return nil, nil, err
+		}
+		flat, err := core.FlatRingPlan(net, req)
+		if err != nil {
+			return nil, nil, err
+		}
+		fres, err := net.Execute(flat)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := FlatVsHierRow{StepOverhead: oh, Hierarchical: hres.Time, FlatRing: fres.Time,
+			HierAdvantage: float64(fres.Time) / float64(hres.Time)}
+		rows = append(rows, row)
+		tbl.AddRow(oh.String(), hres.Time.String(), fres.Time.String(),
+			report.Speedup(row.HierAdvantage))
+	}
+	return rows, tbl, nil
+}
+
+// SyncRow is one sync-latency sensitivity sample.
+type SyncRow struct {
+	SyncLatency sim.Time
+	ARTime      sim.Time
+	SyncShare   float64
+}
+
+// AblationSyncSensitivity (A2): the paper estimates 15 ns worst-case
+// READY/START propagation and argues it is negligible against a >1000-cycle
+// collective. Sweep it three orders of magnitude to find where that stops
+// holding.
+func AblationSyncSensitivity() ([]SyncRow, *report.Table, error) {
+	tbl := report.New("Ablation A2 — READY/START latency sensitivity (AllReduce, 256 DPUs, 32 KiB)",
+		"sync latency", "AllReduce time", "sync share")
+	var rows []SyncRow
+	for _, lat := range []sim.Time{15 * sim.Nanosecond, 150 * sim.Nanosecond,
+		1500 * sim.Nanosecond, 15 * sim.Microsecond, 150 * sim.Microsecond} {
+		sys, err := config.Default().WithDPUs(256)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys.Net.SyncRankLat = lat
+		p, err := core.NewPIMnet(sys)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := p.Collective(request(collective.AllReduce, collective.Sum, 256))
+		if err != nil {
+			return nil, nil, err
+		}
+		row := SyncRow{SyncLatency: lat, ARTime: res.Time,
+			SyncShare: res.Breakdown.Fraction(metrics.Sync)}
+		rows = append(rows, row)
+		tbl.AddRow(lat.String(), res.Time.String(), report.Pct(row.SyncShare))
+	}
+	return rows, tbl, nil
+}
+
+// WRAMRow is one scratchpad-staging sample.
+type WRAMRow struct {
+	PayloadBytes int64
+	ARTime       sim.Time
+	MemShare     float64
+}
+
+// AblationWRAMStaging (A3): collectives run out of the 64 KB WRAM; sweep
+// the payload across the staging boundary and measure the Mem share —
+// the overhead the paper observes for CC, EMB_Synth, SpMV and Join.
+func AblationWRAMStaging() ([]WRAMRow, *report.Table, error) {
+	sys, err := config.Default().WithDPUs(256)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := core.NewPIMnet(sys)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New("Ablation A3 — WRAM staging (AllReduce, 256 DPUs)",
+		"payload per DPU", "AllReduce time", "Mem share")
+	var rows []WRAMRow
+	for _, kb := range []int64{8, 16, 32, 64, 128, 256, 512} {
+		res, err := p.Collective(collective.Request{Pattern: collective.AllReduce,
+			Op: collective.Sum, BytesPerNode: kb << 10, ElemSize: 4, Nodes: 256})
+		if err != nil {
+			return nil, nil, err
+		}
+		row := WRAMRow{PayloadBytes: kb << 10, ARTime: res.Time,
+			MemShare: res.Breakdown.Fraction(metrics.Mem)}
+		rows = append(rows, row)
+		tbl.AddRow(report.Bytes(kb<<10), res.Time.String(), report.Pct(row.MemShare))
+	}
+	return rows, tbl, nil
+}
+
+// NocParamRow is one flow-control parameter sample.
+type NocParamRow struct {
+	BufferPackets int
+	PacketBytes   int64
+	A2AReduction  float64 // static scheduling's time reduction
+}
+
+// AblationNocParameters (A4): how the Fig. 13 All-to-All advantage of
+// static scheduling depends on the credit-based router's buffer depth and
+// the packetization granularity. Deeper buffers absorb contention and
+// shrink the gap; they are also exactly the hardware PIMnet exists to
+// avoid paying for.
+func AblationNocParameters() ([]NocParamRow, *report.Table, error) {
+	tbl := report.New("Ablation A4 — flow-control gap vs buffering (A2A, 256 DPUs, 32 KiB)",
+		"buffer (pkts)", "packet bytes", "static advantage")
+	var rows []NocParamRow
+	for _, buf := range []int{1, 2, 4, 8} {
+		for _, pkt := range []int64{512, 1024, 4096} {
+			cfg := noc.DefaultConfig(4, 8, 8)
+			cfg.BufferPackets = buf
+			cfg.PacketBytes = pkt
+			done := noc.SkewedFinishTimes(cfg.Nodes(), 100*sim.Microsecond, 20*sim.Microsecond, 42)
+			cres, err := noc.SimulateAllToAll(cfg, noc.CreditBased, done, WeakScalingBytes)
+			if err != nil {
+				return nil, nil, err
+			}
+			sres, err := noc.SimulateAllToAll(cfg, noc.StaticScheduled, done, WeakScalingBytes)
+			if err != nil {
+				return nil, nil, err
+			}
+			red := 1 - float64(sres.Finish)/float64(cres.Finish)
+			rows = append(rows, NocParamRow{BufferPackets: buf, PacketBytes: pkt, A2AReduction: red})
+			tbl.AddRow(fmt.Sprintf("%d", buf), fmt.Sprintf("%d", pkt),
+				fmt.Sprintf("%.1f%%", red*100))
+		}
+	}
+	return rows, tbl, nil
+}
+
+// InterChannelRow compares cross-channel combination strategies.
+type InterChannelRow struct {
+	Channels    int
+	HostCombine sim.Time // channel-local PIMnet reduction + host combine (the paper's system)
+	LinkCombine sim.Time // hypothetical inter-channel PIMnet link between buffer chips
+	Benefit     float64
+}
+
+// AblationInterChannel (A5) explores the paper's open question ("It
+// remains to be seen if PIMnet can be extended to inter-memory channel
+// communication"): model a hypothetical dedicated link between the buffer
+// chips of different channels, with the same 16.8 GB/s budget as the rank
+// bus, and compare it against the shipped design where cross-channel
+// reduction goes through the host.
+func AblationInterChannel() ([]InterChannelRow, *report.Table, error) {
+	wl, err := workloads.MLP(workloads.Options{Nodes: 256, Seed: 1}, []int{1024}, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New("Ablation A5 — cross-channel combine: host relay vs hypothetical inter-channel link",
+		"channels", "host combine", "inter-channel link", "benefit")
+	var rows []InterChannelRow
+	for _, ch := range []int{2, 4, 8} {
+		sys := config.Default()
+		sys.Channels = ch
+		p, err := core.NewPIMnet(sys)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := machine.New(sys, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		hostRep, err := m.RunMultiChannel(wl)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Link variant: replace the host combine (up + CPU reduce + down)
+		// with a ring Reduce-Scatter/AllGather between channel buffer chips
+		// over the dedicated link.
+		chanRep, err := m.Run(wl)
+		if err != nil {
+			return nil, nil, err
+		}
+		linkTotal := chanRep.Total
+		for _, ph := range wl.Phases {
+			if ph.Collective == nil || !ph.Collective.Pattern.Reduces() {
+				continue
+			}
+			iters := int64(ph.Repeat)
+			if iters < 1 {
+				iters = 1
+			}
+			D := ph.Collective.BytesPerNode
+			ring := 2 * D * int64(ch-1) / int64(ch)
+			linkTotal += sim.Time(iters) * sim.TransferTime(ring, sys.Net.RankBusBW)
+		}
+		row := InterChannelRow{Channels: ch, HostCombine: hostRep.Total, LinkCombine: linkTotal,
+			Benefit: float64(hostRep.Total) / float64(linkTotal)}
+		rows = append(rows, row)
+		tbl.AddRow(fmt.Sprintf("%d", ch), hostRep.Total.String(), linkTotal.String(),
+			report.Speedup(row.Benefit))
+	}
+	return rows, tbl, nil
+}
+
+// AblationBaselineTranspose quantifies the host-path layout-transposition
+// penalty our Baseline charges (DESIGN.md §4): the same AllReduce with the
+// SDK reshaping disabled, isolating how much of the baseline's cost is raw
+// channel serialization vs software overhead.
+func AblationBaselineTranspose() (*report.Table, error) {
+	tbl := report.New("Ablation A6 — Baseline host-path overhead decomposition (AllReduce, 256 DPUs, 32 KiB)",
+		"variant", "time", "vs full baseline")
+	sys, err := config.Default().WithDPUs(256)
+	if err != nil {
+		return nil, err
+	}
+	req := request(collective.AllReduce, collective.Sum, 256)
+	full, err := host.NewBaseline(sys)
+	if err != nil {
+		return nil, err
+	}
+	fres, err := full.Collective(req)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("measured baseline", fres.Time.String(), "1.00x")
+	noT := sys
+	noT.Host.TransposeFactor = 1
+	nt, err := host.NewBaseline(noT)
+	if err != nil {
+		return nil, err
+	}
+	nres, err := nt.Collective(req)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("no layout transposition", nres.Time.String(),
+		report.Speedup(float64(fres.Time)/float64(nres.Time)))
+	ideal, err := host.NewIdeal(sys)
+	if err != nil {
+		return nil, err
+	}
+	ires, err := ideal.Collective(req)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("all software overhead removed", ires.Time.String(),
+		report.Speedup(float64(fres.Time)/float64(ires.Time)))
+	return tbl, nil
+}

@@ -1,0 +1,666 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section III motivation and Section VI results). Each Fig* /
+// Tab* function runs the corresponding experiment on the simulator and
+// returns both structured results (asserted by tests and benchmarks) and a
+// rendered table (printed by cmd/pimnetbench and recorded in
+// EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+
+	"pimnet/internal/backend"
+	"pimnet/internal/baselines"
+	"pimnet/internal/collective"
+	"pimnet/internal/config"
+	"pimnet/internal/core"
+	"pimnet/internal/embtab"
+	"pimnet/internal/host"
+	"pimnet/internal/hwcost"
+	"pimnet/internal/machine"
+	"pimnet/internal/metrics"
+	"pimnet/internal/noc"
+	"pimnet/internal/report"
+	"pimnet/internal/roofline"
+	"pimnet/internal/sim"
+	"pimnet/internal/workloads"
+)
+
+// WeakScalingBytes is the per-DPU payload of the scalability studies
+// (Fig. 3/12: 32 KB messages).
+const WeakScalingBytes = 32 << 10
+
+// backendsFor builds the five comparison backends for one system shape.
+func backendsFor(sys config.System) (b, s, n, d, p backend.Backend, err error) {
+	if b, err = host.NewBaseline(sys); err != nil {
+		return
+	}
+	if s, err = host.NewIdeal(sys); err != nil {
+		return
+	}
+	if n, err = baselines.NewNDPBridge(sys); err != nil {
+		return
+	}
+	if d, err = baselines.NewDIMMLink(sys); err != nil {
+		return
+	}
+	p, err = core.NewPIMnet(sys)
+	return
+}
+
+func request(pat collective.Pattern, op collective.Op, nodes int) collective.Request {
+	return collective.Request{Pattern: pat, Op: op,
+		BytesPerNode: WeakScalingBytes, ElemSize: 4, Nodes: nodes}
+}
+
+// --- Fig. 2: roofline models ---
+
+// RooflineResult carries the Fig. 2 slopes and curves.
+type RooflineResult struct {
+	PeakOpsPerSec float64
+	BW            map[string]float64 // effective AllReduce bandwidth per design
+	Curves        []roofline.Series
+}
+
+// Fig2Roofline measures the effective collective bandwidth of the four
+// designs at 256 DPUs and sweeps the communication-roofline curves.
+func Fig2Roofline() (RooflineResult, *report.Table, error) {
+	sys, err := config.Default().WithDPUs(256)
+	if err != nil {
+		return RooflineResult{}, nil, err
+	}
+	b, _ := host.NewBaseline(sys)
+	m, _ := host.NewMaxDRAM(sys)
+	s, _ := host.NewIdeal(sys)
+	p, perr := core.NewPIMnet(sys)
+	if perr != nil {
+		return RooflineResult{}, nil, perr
+	}
+	req := request(collective.AllReduce, collective.Sum, 256)
+	// Peak: all 256 DPUs at one op per cycle.
+	peak := sys.DPU.FreqHz / sys.DPU.AddCycles * 256
+	res := RooflineResult{PeakOpsPerSec: peak, BW: map[string]float64{}}
+	order := []backend.Backend{b, m, s, p}
+	tbl := report.New("Fig. 2 — communication roofline slopes (AllReduce, 256 DPUs)",
+		"design", "effective collective BW", "ridge intensity (ops/B)")
+	intensities := roofline.LogSpace(0.25, 4096, 25)
+	for _, be := range order {
+		bw, err := roofline.EffectiveCollectiveBW(be, req)
+		if err != nil {
+			return RooflineResult{}, nil, err
+		}
+		res.BW[be.Name()] = bw
+		res.Curves = append(res.Curves, roofline.Sweep(be.Name(), peak, bw, intensities, true))
+		tbl.AddRow(be.Name(), report.GBps(bw), report.F(peak/bw))
+	}
+	return res, tbl, nil
+}
+
+// --- Fig. 3 / Fig. 12: collective scalability ---
+
+// ScalingPoint is one (population, backend) sample of the weak-scaling
+// studies, normalized to the baseline at the same population.
+type ScalingPoint struct {
+	DPUs    int
+	Backend string
+	Time    sim.Time
+	Speedup float64 // baseline time / this time
+}
+
+// CollectiveScaling runs the weak-scaling study for one pattern across the
+// given backends; Fig. 3 uses {Baseline, Software(Ideal), PIMnet} and
+// Fig. 12 adds DIMM-Link and (for A2A) NDPBridge.
+func CollectiveScaling(pat collective.Pattern, op collective.Op, dpuCounts []int, names []string) ([]ScalingPoint, *report.Table, error) {
+	tbl := report.New(fmt.Sprintf("Collective weak scaling — %v, %s per DPU", pat, report.Bytes(WeakScalingBytes)),
+		append([]string{"DPUs"}, names...)...)
+	var points []ScalingPoint
+	for _, nDPU := range dpuCounts {
+		sys, err := config.Default().WithDPUs(nDPU)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, s, nb, d, p, err := backendsFor(sys)
+		if err != nil {
+			return nil, nil, err
+		}
+		byName := map[string]backend.Backend{
+			b.Name(): b, s.Name(): s, nb.Name(): nb, d.Name(): d, p.Name(): p,
+		}
+		req := request(pat, op, nDPU)
+		var baseTime sim.Time
+		row := []string{fmt.Sprintf("%d", nDPU)}
+		for _, name := range names {
+			be, ok := byName[name]
+			if !ok {
+				return nil, nil, fmt.Errorf("experiments: unknown backend %q", name)
+			}
+			res, err := be.Collective(req)
+			if err != nil {
+				row = append(row, "n/a")
+				points = append(points, ScalingPoint{DPUs: nDPU, Backend: name})
+				continue
+			}
+			if name == "Baseline" {
+				baseTime = res.Time
+			}
+			sp := 0.0
+			if res.Time > 0 && baseTime > 0 {
+				sp = float64(baseTime) / float64(res.Time)
+			}
+			points = append(points, ScalingPoint{DPUs: nDPU, Backend: name, Time: res.Time, Speedup: sp})
+			row = append(row, fmt.Sprintf("%s (%.1fx)", res.Time, sp))
+		}
+		tbl.AddRow(row...)
+	}
+	return points, tbl, nil
+}
+
+// Fig3Scalability reproduces Fig. 3: AR and A2A scaling with Baseline,
+// Software(Ideal) and PIMnet.
+func Fig3Scalability() (ar, a2a []ScalingPoint, tables []*report.Table, err error) {
+	counts := []int{8, 16, 32, 64, 128, 256}
+	names := []string{"Baseline", "Software(Ideal)", "PIMnet"}
+	var t1, t2 *report.Table
+	ar, t1, err = CollectiveScaling(collective.AllReduce, collective.Sum, counts, names)
+	if err != nil {
+		return
+	}
+	a2a, t2, err = CollectiveScaling(collective.AllToAll, collective.Sum, counts, names)
+	if err != nil {
+		return
+	}
+	t1.Title = "Fig. 3(a) — AllReduce scalability"
+	t2.Title = "Fig. 3(b) — All-to-All scalability"
+	tables = []*report.Table{t1, t2}
+	return
+}
+
+// Fig12CollectiveScaling reproduces Fig. 12 with all five designs.
+func Fig12CollectiveScaling() (ar, a2a []ScalingPoint, tables []*report.Table, err error) {
+	counts := []int{8, 16, 32, 64, 128, 256}
+	var t1, t2 *report.Table
+	ar, t1, err = CollectiveScaling(collective.AllReduce, collective.Sum, counts,
+		[]string{"Baseline", "Software(Ideal)", "DIMM-Link", "PIMnet"})
+	if err != nil {
+		return
+	}
+	a2a, t2, err = CollectiveScaling(collective.AllToAll, collective.Sum, counts,
+		[]string{"Baseline", "Software(Ideal)", "NDPBridge", "DIMM-Link", "PIMnet"})
+	if err != nil {
+		return
+	}
+	t1.Title = "Fig. 12(a) — AllReduce scalability (all designs)"
+	t2.Title = "Fig. 12(b) — All-to-All scalability (all designs)"
+	tables = []*report.Table{t1, t2}
+	return
+}
+
+// --- Fig. 10 / Fig. 11: applications ---
+
+// AppResult is one workload's outcome on every backend.
+type AppResult struct {
+	Workload string
+	Reports  map[string]machine.Report // keyed by backend name; absent if unsupported
+}
+
+// Speedup returns backend b's speedup over the baseline (0 if missing).
+func (a AppResult) Speedup(b string) float64 {
+	base, ok := a.Reports["Baseline"]
+	r, ok2 := a.Reports[b]
+	if !ok || !ok2 || r.Total == 0 {
+		return 0
+	}
+	return float64(base.Total) / float64(r.Total)
+}
+
+// Fig10Applications runs the eight workloads on all five backends.
+// scaled selects the fast, reduced inputs (tests); the harness uses
+// paper-sized inputs.
+func Fig10Applications(scaled bool) ([]AppResult, *report.Table, error) {
+	sys, err := config.Default().WithDPUs(256)
+	if err != nil {
+		return nil, nil, err
+	}
+	suite, err := workloads.Suite(workloads.SuiteConfig{Nodes: 256, Seed: 1, Scaled: scaled})
+	if err != nil {
+		return nil, nil, err
+	}
+	b, s, nb, d, p, err := backendsFor(sys)
+	if err != nil {
+		return nil, nil, err
+	}
+	order := []backend.Backend{b, s, nb, d, p}
+	tbl := report.New("Fig. 10 — application performance (speedup over Baseline; comm fraction)",
+		"workload", "Baseline", "Software(Ideal)", "NDPBridge", "DIMM-Link", "PIMnet")
+	var out []AppResult
+	for _, wl := range suite {
+		ar := AppResult{Workload: wl.Name, Reports: map[string]machine.Report{}}
+		row := []string{wl.Name}
+		for _, be := range order {
+			m, err := machine.New(sys, be)
+			if err != nil {
+				return nil, nil, err
+			}
+			rep, err := m.Run(wl)
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			ar.Reports[be.Name()] = rep
+			row = append(row, fmt.Sprintf("%s (cf %s)",
+				report.Speedup(ar.Speedup(be.Name())), report.Pct(rep.CommFraction())))
+		}
+		out = append(out, ar)
+		tbl.AddRow(row...)
+	}
+	return out, tbl, nil
+}
+
+// CommBreakdownRow is one Fig. 11 row: PIMnet's communication-time
+// composition for a workload plus its communication speedup over the
+// relevant prior-work design.
+type CommBreakdownRow struct {
+	Workload    string
+	Reference   string // DIMM-Link, or NDPBridge for the A2A workloads
+	PIMnetComm  sim.Time
+	RefComm     sim.Time
+	CommSpeedup float64
+	Fractions   map[string]float64 // inter-bank/chip/rank/sync/mem shares
+}
+
+// Fig11CommBreakdown reproduces the communication-time analysis.
+func Fig11CommBreakdown(scaled bool) ([]CommBreakdownRow, *report.Table, error) {
+	sys, err := config.Default().WithDPUs(256)
+	if err != nil {
+		return nil, nil, err
+	}
+	suite, err := workloads.Suite(workloads.SuiteConfig{Nodes: 256, Seed: 1, Scaled: scaled})
+	if err != nil {
+		return nil, nil, err
+	}
+	_, _, nb, d, p, err := backendsFor(sys)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New("Fig. 11 — PIM communication breakdown (PIMnet) and speedup vs prior work",
+		"workload", "ref", "comm speedup", "inter-bank", "inter-chip", "inter-rank", "sync", "mem")
+	var rows []CommBreakdownRow
+	comps := []metrics.Component{metrics.InterBank, metrics.InterChip, metrics.InterRank, metrics.Sync, metrics.Mem}
+	for _, wl := range suite {
+		ref := d
+		if wl.Name == "NTT" || wl.Name == "Join" {
+			ref = nb
+		}
+		mp, _ := machine.New(sys, p)
+		pr, err := mp.Run(wl)
+		if err != nil {
+			return nil, nil, err
+		}
+		mr, _ := machine.New(sys, ref)
+		rr, err := mr.Run(wl)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := CommBreakdownRow{Workload: wl.Name, Reference: ref.Name(),
+			PIMnetComm: pr.Breakdown.CommTotal(), RefComm: rr.Breakdown.CommTotal(),
+			Fractions: map[string]float64{}}
+		if row.PIMnetComm > 0 {
+			row.CommSpeedup = float64(row.RefComm) / float64(row.PIMnetComm)
+		}
+		cells := []string{wl.Name, ref.Name(), report.Speedup(row.CommSpeedup)}
+		for _, c := range comps {
+			frac := 0.0
+			if row.PIMnetComm > 0 {
+				frac = float64(pr.Breakdown.Get(c)) / float64(row.PIMnetComm)
+			}
+			row.Fractions[c.String()] = frac
+			cells = append(cells, report.Pct(frac))
+		}
+		rows = append(rows, row)
+		tbl.AddRow(cells...)
+	}
+	return rows, tbl, nil
+}
+
+// --- Fig. 13: flow control ---
+
+// FlowControlResult carries the credit-vs-static comparison.
+type FlowControlResult struct {
+	ARCredit, ARStatic   sim.Time
+	A2ACredit, A2AStatic sim.Time
+}
+
+// ARRatio returns static/credit for AllReduce (paper: ~1.0).
+func (f FlowControlResult) ARRatio() float64 { return float64(f.ARStatic) / float64(f.ARCredit) }
+
+// A2AReduction returns the fractional time reduction of static scheduling
+// on All-to-All (paper: 18.7%).
+func (f FlowControlResult) A2AReduction() float64 {
+	return 1 - float64(f.A2AStatic)/float64(f.A2ACredit)
+}
+
+// Fig13FlowControl runs both collectives under both flow-control policies
+// on the packet-level network with a skewed compute-finish profile.
+func Fig13FlowControl() (FlowControlResult, *report.Table, error) {
+	cfg := noc.DefaultConfig(4, 8, 8)
+	done := noc.SkewedFinishTimes(cfg.Nodes(), 100*sim.Microsecond, 20*sim.Microsecond, 42)
+	var res FlowControlResult
+	var err error
+	run := func(f func(noc.Config, noc.Mode, []sim.Time, int64) (noc.Result, error), m noc.Mode) sim.Time {
+		if err != nil {
+			return 0
+		}
+		var r noc.Result
+		r, err = f(cfg, m, done, WeakScalingBytes)
+		return r.Finish
+	}
+	res.ARCredit = run(noc.SimulateAllReduce, noc.CreditBased)
+	res.ARStatic = run(noc.SimulateAllReduce, noc.StaticScheduled)
+	res.A2ACredit = run(noc.SimulateAllToAll, noc.CreditBased)
+	res.A2AStatic = run(noc.SimulateAllToAll, noc.StaticScheduled)
+	if err != nil {
+		return res, nil, err
+	}
+	tbl := report.New("Fig. 13 — credit-based flow control vs PIM-controlled scheduling (256 DPUs)",
+		"collective", "credit-based", "PIM-controlled", "static vs credit")
+	tbl.AddRow("AllReduce", res.ARCredit.String(), res.ARStatic.String(),
+		fmt.Sprintf("%+.1f%%", (res.ARRatio()-1)*100))
+	tbl.AddRow("All-to-All", res.A2ACredit.String(), res.A2AStatic.String(),
+		fmt.Sprintf("%.1f%% faster", res.A2AReduction()*100))
+	return res, tbl, nil
+}
+
+// --- Fig. 14: bandwidth sensitivity ---
+
+// BWPoint is one bandwidth-sweep sample.
+type BWPoint struct {
+	Param   float64 // swept value
+	PIMnet  sim.Time
+	DIMM    sim.Time
+	Speedup float64 // DIMM-Link / PIMnet
+}
+
+// Fig14BankBandwidth sweeps the inter-bank channel bandwidth (Fig. 14a).
+func Fig14BankBandwidth() ([]BWPoint, *report.Table, error) {
+	sys, err := config.Default().WithDPUs(256)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := baselines.NewDIMMLink(sys)
+	if err != nil {
+		return nil, nil, err
+	}
+	req := request(collective.AllReduce, collective.Sum, 256)
+	dres, err := d.Collective(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New("Fig. 14(a) — AllReduce vs inter-bank channel bandwidth",
+		"GB/s per channel", "PIMnet", "DIMM-Link", "speedup")
+	var pts []BWPoint
+	for _, gbps := range []float64{0.1, 0.2, 0.4, 0.7, 1.0} {
+		p, err := core.NewPIMnet(sys)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.Network().ScaleBankBandwidth(gbps * config.GBps)
+		pres, err := p.Collective(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt := BWPoint{Param: gbps, PIMnet: pres.Time, DIMM: dres.Time,
+			Speedup: float64(dres.Time) / float64(pres.Time)}
+		pts = append(pts, pt)
+		tbl.AddRow(report.F(gbps), pres.Time.String(), dres.Time.String(), report.Speedup(pt.Speedup))
+	}
+	return pts, tbl, nil
+}
+
+// Fig14GlobalBandwidth sweeps the inter-chip/inter-rank bandwidth scale
+// (Fig. 14b), with the inter-bank tier fixed at 0.7 GB/s.
+func Fig14GlobalBandwidth() ([]BWPoint, *report.Table, error) {
+	sys, err := config.Default().WithDPUs(256)
+	if err != nil {
+		return nil, nil, err
+	}
+	req := request(collective.AllReduce, collective.Sum, 256)
+	tbl := report.New("Fig. 14(b) — AllReduce vs global (inter-chip/rank) bandwidth scale",
+		"scale", "PIMnet", "DIMM-Link", "speedup")
+	var pts []BWPoint
+	for _, scale := range []float64{0.25, 0.5, 1, 2, 4} {
+		p, err := core.NewPIMnet(sys)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.Network().ScaleGlobalBandwidth(scale)
+		pres, err := p.Collective(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		// DIMM-Link's dedicated links scale with the same global budget.
+		dsys := sys
+		dsys.Net.RankBusBW *= scale
+		d, err := baselines.NewDIMMLink(dsys)
+		if err != nil {
+			return nil, nil, err
+		}
+		dres, err := d.Collective(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt := BWPoint{Param: scale, PIMnet: pres.Time, DIMM: dres.Time,
+			Speedup: float64(dres.Time) / float64(pres.Time)}
+		pts = append(pts, pt)
+		tbl.AddRow(report.F(scale), pres.Time.String(), dres.Time.String(), report.Speedup(pt.Speedup))
+	}
+	return pts, tbl, nil
+}
+
+// --- Fig. 15: alternative PIM compute ---
+
+// AltPIMRow is one (workload, compute-scale) sample.
+type AltPIMRow struct {
+	Workload string
+	Scale    float64
+	Speedup  float64 // PIMnet over Baseline at that compute throughput
+}
+
+// Fig15AltPIM scales the PIM compute throughput to HBM-PIM and GDDR6-AiM
+// class MAC rates and re-measures PIMnet's benefit on the two most
+// compute-bound workloads (MLP, NTT).
+func Fig15AltPIM(scaled bool) ([]AltPIMRow, *report.Table, error) {
+	tbl := report.New("Fig. 15 — PIMnet benefit with alternative PIM compute",
+		"workload", "UPMEM (1x)", "HBM-PIM (~10x)", "GDDR6-AiM (180x)")
+	scales := []float64{1, 10, 180}
+	var rows []AltPIMRow
+	for _, name := range []string{"MLP", "NTT"} {
+		cells := []string{name}
+		for _, sc := range scales {
+			sys, err := config.Default().WithDPUs(256)
+			if err != nil {
+				return nil, nil, err
+			}
+			sys.DPU.ComputeScale = sc
+			wl, err := buildOne(name, scaled)
+			if err != nil {
+				return nil, nil, err
+			}
+			b, _ := host.NewBaseline(sys)
+			p, err := core.NewPIMnet(sys)
+			if err != nil {
+				return nil, nil, err
+			}
+			mb, _ := machine.New(sys, b)
+			mp, _ := machine.New(sys, p)
+			rb, err := mb.Run(wl)
+			if err != nil {
+				return nil, nil, err
+			}
+			rp, err := mp.Run(wl)
+			if err != nil {
+				return nil, nil, err
+			}
+			sp := machine.Speedup(rb, rp)
+			rows = append(rows, AltPIMRow{Workload: name, Scale: sc, Speedup: sp})
+			cells = append(cells, report.Speedup(sp))
+		}
+		tbl.AddRow(cells...)
+	}
+	return rows, tbl, nil
+}
+
+// buildOne constructs a single named workload with the suite's default
+// parameters, without paying for the rest of the suite (the graph, sparse
+// and join substrates are the expensive ones).
+func buildOne(name string, scaled bool) (machine.Workload, error) {
+	opt := workloads.Options{Nodes: 256, Seed: 1}
+	switch name {
+	case "MLP":
+		return workloads.MLP(opt, []int{256, 512, 1024}, 4)
+	case "NTT":
+		return workloads.NTT(opt, 16)
+	case "EMB":
+		return workloads.EMB(opt, embtab.Synthetic(), embtab.Partitioning{Cols: 8, Rows: 32})
+	}
+	suite, err := workloads.Suite(workloads.SuiteConfig{Nodes: 256, Seed: 1, Scaled: scaled})
+	if err != nil {
+		return machine.Workload{}, err
+	}
+	for _, wl := range suite {
+		if wl.Name == name {
+			return wl, nil
+		}
+	}
+	return machine.Workload{}, fmt.Errorf("experiments: workload %q not in suite", name)
+}
+
+// --- Fig. 16: channel scaling ---
+
+// ChannelPoint is one memory-channel-count sample.
+type ChannelPoint struct {
+	Channels int
+	Speedup  float64 // PIMnet over Baseline
+}
+
+// Fig16ChannelScaling measures EMB_Synth speedup as channels grow.
+func Fig16ChannelScaling() ([]ChannelPoint, *report.Table, error) {
+	tbl := report.New("Fig. 16 — EMB_Synth speedup vs memory channels",
+		"channels", "Baseline", "PIMnet", "speedup")
+	var pts []ChannelPoint
+	for _, ch := range []int{1, 2, 4, 8} {
+		sys := config.Default()
+		sys.Channels = ch
+		wl, err := buildOne("EMB", false)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, _ := host.NewBaseline(sys)
+		p, err := core.NewPIMnet(sys)
+		if err != nil {
+			return nil, nil, err
+		}
+		mb, _ := machine.New(sys, b)
+		mp, _ := machine.New(sys, p)
+		rb, err := mb.RunMultiChannel(wl)
+		if err != nil {
+			return nil, nil, err
+		}
+		rp, err := mp.RunMultiChannel(wl)
+		if err != nil {
+			return nil, nil, err
+		}
+		sp := machine.Speedup(rb, rp)
+		pts = append(pts, ChannelPoint{Channels: ch, Speedup: sp})
+		tbl.AddRow(fmt.Sprintf("%d", ch), rb.Total.String(), rp.Total.String(), report.Speedup(sp))
+	}
+	return pts, tbl, nil
+}
+
+// --- Fig. 17: multi-tenancy ---
+
+// TenancyResult compares two spatially mapped tenants on the host path vs
+// on PIMnet.
+type TenancyResult struct {
+	HostMakespan, PIMnetMakespan sim.Time
+	Isolation                    float64 // host makespan / PIMnet makespan
+}
+
+// Fig17MultiTenancy runs two identical AllReduce-heavy tenants on disjoint
+// channel halves.
+func Fig17MultiTenancy() (TenancyResult, *report.Table, error) {
+	half, err := config.Default().WithDPUs(128)
+	if err != nil {
+		return TenancyResult{}, nil, err
+	}
+	wl, err := workloads.MLP(workloads.Options{Nodes: 128, Seed: 1}, []int{512, 512, 512}, 4)
+	if err != nil {
+		return TenancyResult{}, nil, err
+	}
+	run := func(mk func(config.System) (backend.Backend, error)) (sim.Time, error) {
+		bA, err := mk(half)
+		if err != nil {
+			return 0, err
+		}
+		bB, err := mk(half)
+		if err != nil {
+			return 0, err
+		}
+		mA, err := machine.New(half, bA)
+		if err != nil {
+			return 0, err
+		}
+		mB, err := machine.New(half, bB)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := machine.RunTenants(mA, mB, wl, wl)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Makespan, nil
+	}
+	hostMk, err := run(func(s config.System) (backend.Backend, error) { return host.NewBaseline(s) })
+	if err != nil {
+		return TenancyResult{}, nil, err
+	}
+	pimMk, err := run(func(s config.System) (backend.Backend, error) { return core.NewPIMnet(s) })
+	if err != nil {
+		return TenancyResult{}, nil, err
+	}
+	res := TenancyResult{HostMakespan: hostMk, PIMnetMakespan: pimMk,
+		Isolation: float64(hostMk) / float64(pimMk)}
+	tbl := report.New("Fig. 17 — two spatially mapped tenants (128 DPUs each)",
+		"design", "makespan")
+	tbl.AddRow("host-based communication", hostMk.String())
+	tbl.AddRow("PIMnet (bandwidth isolated)", pimMk.String())
+	tbl.AddRow("isolation benefit", report.Speedup(res.Isolation))
+	return res, tbl, nil
+}
+
+// --- Section VI: hardware overhead ---
+
+// HWOverhead evaluates the analytical area/power model.
+func HWOverhead() (hwcost.Report, *report.Table) {
+	r := hwcost.Evaluate()
+	tbl := report.New("Hardware overhead (45nm analytical model)",
+		"block", "area (mm^2)", "power (mW)", "notes")
+	tbl.AddRow("PIMnet stop", report.F(r.Stop.AreaMM2), report.F(r.Stop.PowerMW),
+		fmt.Sprintf("%.2f%% of bank area, %.1f%% of bank power",
+			r.StopAreaOverheadPct, r.StopPowerOverheadPct))
+	tbl.AddRow("conventional ring router", report.F(r.Router.AreaMM2), report.F(r.Router.PowerMW),
+		fmt.Sprintf("%.0fx the PIMnet stop", r.RouterToStopRatio))
+	tbl.AddRow("inter-chip switch", report.F(r.InterChipSwitch.AreaMM2),
+		report.F(r.InterChipSwitch.PowerMW), "per buffer chip")
+	return r, tbl
+}
+
+// Tab4TierTable renders Table IV for the default configuration.
+func Tab4TierTable() *report.Table {
+	tbl := report.New("Table IV — PIMnet tier parameters",
+		"tier", "physical channel", "#ch", "width(b)", "GB/s per ch", "topology", "router")
+	for _, row := range config.Default().TierTable() {
+		tbl.AddRow(row.Tier, row.Physical, fmt.Sprintf("%d", row.Channels),
+			fmt.Sprintf("%d", row.WidthBits), report.F(row.ChannelGBps), row.Topology, row.Router)
+	}
+	return tbl
+}

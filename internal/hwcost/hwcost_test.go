@@ -1,0 +1,75 @@
+package hwcost
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStopIsBufferlessAndTiny(t *testing.T) {
+	stop := PIMnetStop(DefaultStop())
+	if stop.AreaMM2 <= 0 || stop.PowerMW <= 0 {
+		t.Fatal("stop cost empty")
+	}
+	// No packet buffers: sequential state is bounded by datapath retiming
+	// plus counters, far below a single flit buffer's worth.
+	if stop.FFs > 1024 {
+		t.Fatalf("stop has %d FFs — looks buffered", stop.FFs)
+	}
+}
+
+func TestPaperOverheadClaims(t *testing.T) {
+	r := Evaluate()
+	// Paper: 0.09% area overhead vs a PIM bank; we accept 0.05-0.2%.
+	if r.StopAreaOverheadPct < 0.05 || r.StopAreaOverheadPct > 0.2 {
+		t.Fatalf("stop area overhead = %.3f%%, want ~0.09%%", r.StopAreaOverheadPct)
+	}
+	// Paper: 1.6% power overhead; accept 0.5-3%.
+	if r.StopPowerOverheadPct < 0.5 || r.StopPowerOverheadPct > 3 {
+		t.Fatalf("stop power overhead = %.2f%%, want ~1.6%%", r.StopPowerOverheadPct)
+	}
+	// Paper: over 60x smaller than a conventional router; accept >= 50x.
+	if r.RouterToStopRatio < 50 {
+		t.Fatalf("router/stop ratio = %.0fx, want >= 50x", r.RouterToStopRatio)
+	}
+	// Paper: switch 0.013 mm^2 and 17 mW; accept 2x slack either way.
+	if r.InterChipSwitch.AreaMM2 < 0.006 || r.InterChipSwitch.AreaMM2 > 0.026 {
+		t.Fatalf("switch area = %.4f mm^2, want ~0.013", r.InterChipSwitch.AreaMM2)
+	}
+	if r.InterChipSwitch.PowerMW < 8 || r.InterChipSwitch.PowerMW > 34 {
+		t.Fatalf("switch power = %.1f mW, want ~17", r.InterChipSwitch.PowerMW)
+	}
+}
+
+func TestRouterScalesWithBuffers(t *testing.T) {
+	small := ConventionalRouter(RouterConfig{Ports: 3, VCs: 2, FlitBits: 64, BufDepth: 4})
+	big := ConventionalRouter(RouterConfig{Ports: 3, VCs: 4, FlitBits: 128, BufDepth: 16})
+	if big.AreaMM2 <= small.AreaMM2*2 {
+		t.Fatalf("router area should scale with buffering: %.4f vs %.4f",
+			small.AreaMM2, big.AreaMM2)
+	}
+}
+
+func TestStopScalesWithWidth(t *testing.T) {
+	narrow := PIMnetStop(StopConfig{ChannelBits: 8, Channels: 2, AddrBits: 16, TimerBits: 32})
+	wide := PIMnetStop(DefaultStop())
+	if wide.AreaMM2 <= narrow.AreaMM2 {
+		t.Fatal("wider stop should cost more")
+	}
+}
+
+func TestSwitchScalesWithPorts(t *testing.T) {
+	small := Switch(SwitchConfig{Ports: 4, PortBits: 4, ConfigReg: 512})
+	big := Switch(DefaultInterChipSwitch())
+	if big.AreaMM2 <= small.AreaMM2 {
+		t.Fatal("bigger switch should cost more")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Evaluate().String()
+	for _, want := range []string{"PIMnet stop", "ring router", "inter-chip switch", "mm^2", "mW"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package metrics provides execution-time breakdown accounting. Every
+// backend in pimnet attributes simulated time to one of a fixed set of
+// components so that the paper's stacked-bar figures (Fig. 10 execution
+// breakdown, Fig. 11 communication breakdown) can be regenerated directly.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pimnet/internal/sim"
+)
+
+// Component identifies where simulated time was spent.
+type Component int
+
+// The component set covers both the paper's application breakdown
+// (compute vs. communication, Fig. 10) and its PIM-communication breakdown
+// (inter-bank / inter-chip / inter-rank / Sync / Mem, Fig. 11), plus the
+// host-path costs that only the software implementations incur.
+const (
+	Compute     Component = iota // DPU kernel execution
+	InterBank                    // PIMnet tier 1 / bank-level transfers
+	InterChip                    // PIMnet tier 2 / chip-level transfers
+	InterRank                    // PIMnet tier 3 / rank-level (DDR bus) transfers
+	HostXfer                     // CPU<->PIM data movement over the memory channel
+	HostCompute                  // host-side reduction / reshaping work
+	Launch                       // driver and kernel-launch overhead
+	Sync                         // READY/START synchronization
+	Mem                          // MRAM<->WRAM DMA staging (WRAM overflow)
+	numComponents
+)
+
+var componentNames = [numComponents]string{
+	"compute", "inter-bank", "inter-chip", "inter-rank",
+	"host-xfer", "host-compute", "launch", "sync", "mem",
+}
+
+// String returns the component's short name.
+func (c Component) String() string {
+	if c < 0 || c >= numComponents {
+		return fmt.Sprintf("component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// Components lists every component in canonical order.
+func Components() []Component {
+	out := make([]Component, numComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// CommComponents lists the components that count as communication time in
+// the paper's figures.
+func CommComponents() []Component {
+	return []Component{InterBank, InterChip, InterRank, HostXfer, HostCompute, Launch, Sync, Mem}
+}
+
+// Breakdown accumulates time per component. The zero value is ready to use.
+type Breakdown struct {
+	t [numComponents]sim.Time
+}
+
+// Add charges d to component c. Negative charges panic: time cannot be
+// refunded, and a negative duration always indicates an accounting bug.
+func (b *Breakdown) Add(c Component, d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("metrics: negative charge %v to %v", d, c))
+	}
+	if c < 0 || c >= numComponents {
+		panic(fmt.Sprintf("metrics: unknown component %d", int(c)))
+	}
+	b.t[c] += d
+}
+
+// Get returns the time charged to c.
+func (b *Breakdown) Get(c Component) sim.Time {
+	if c < 0 || c >= numComponents {
+		return 0
+	}
+	return b.t[c]
+}
+
+// Total returns the sum over all components.
+func (b *Breakdown) Total() sim.Time {
+	var s sim.Time
+	for _, v := range b.t {
+		s += v
+	}
+	return s
+}
+
+// CommTotal returns the total communication time (everything but Compute).
+func (b *Breakdown) CommTotal() sim.Time { return b.Total() - b.t[Compute] }
+
+// Merge adds another breakdown into b.
+func (b *Breakdown) Merge(other Breakdown) {
+	for i := range b.t {
+		b.t[i] += other.t[i]
+	}
+}
+
+// Scale multiplies every component by k (k >= 0); used when a measured
+// iteration is replicated analytically.
+func (b *Breakdown) Scale(k int64) {
+	if k < 0 {
+		panic("metrics: negative scale")
+	}
+	for i := range b.t {
+		b.t[i] *= sim.Time(k)
+	}
+}
+
+// Fraction returns component c's share of the total (0 when empty).
+func (b *Breakdown) Fraction(c Component) float64 {
+	tot := b.Total()
+	if tot == 0 {
+		return 0
+	}
+	return float64(b.Get(c)) / float64(tot)
+}
+
+// Reset zeroes the breakdown.
+func (b *Breakdown) Reset() { b.t = [numComponents]sim.Time{} }
+
+// String renders the nonzero components, largest first.
+func (b *Breakdown) String() string {
+	type kv struct {
+		c Component
+		v sim.Time
+	}
+	var parts []kv
+	for i, v := range b.t {
+		if v > 0 {
+			parts = append(parts, kv{Component(i), v})
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool {
+		if parts[i].v != parts[j].v {
+			return parts[i].v > parts[j].v
+		}
+		return parts[i].c < parts[j].c
+	})
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, p := range parts {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%v:%v", p.c, p.v)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

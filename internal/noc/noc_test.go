@@ -1,0 +1,236 @@
+package noc
+
+import (
+	"testing"
+
+	"pimnet/internal/sim"
+)
+
+func flat(n int, t sim.Time) []sim.Time {
+	out := make([]sim.Time, n)
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig(4, 8, 8)
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Nodes() != 256 {
+		t.Fatalf("nodes = %d", good.Nodes())
+	}
+	bad := []Config{
+		{Ranks: 0, Chips: 1, Banks: 1, RingRate: 1, ChipRate: 1, BusRate: 1, BufferPackets: 1, PacketBytes: 1},
+		{Ranks: 1, Chips: 1, Banks: 1, RingRate: 0, ChipRate: 1, BusRate: 1, BufferPackets: 1, PacketBytes: 1},
+		{Ranks: 1, Chips: 1, Banks: 1, RingRate: 1, ChipRate: 1, BusRate: 1, BufferPackets: 0, PacketBytes: 1},
+		{Ranks: 1, Chips: 1, Banks: 1, RingRate: 1, ChipRate: 1, BusRate: 1, BufferPackets: 1, PacketBytes: 0},
+	}
+	for i, c := range bad {
+		if _, err := SimulateAllReduce(c, CreditBased, flat(c.Nodes(), 0), 1024); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if CreditBased.String() != "credit-based" || StaticScheduled.String() != "PIM-controlled" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestFabricPaths(t *testing.T) {
+	f := buildFabric(DefaultConfig(2, 2, 4))
+	// Intra-chip: clockwise ring hops.
+	p := f.path(0, 2)
+	if len(p) != 2 || p[0] != f.ring[0][0][0] || p[1] != f.ring[0][0][1] {
+		t.Fatalf("intra-chip path wrong: %v", names(p))
+	}
+	// Wraparound.
+	p = f.path(3, 0)
+	if len(p) != 1 || p[0] != f.ring[0][0][3] {
+		t.Fatalf("wraparound path wrong: %v", names(p))
+	}
+	// Inter-chip, same rank: out then in, no bus.
+	p = f.path(0, 5)
+	if len(p) != 2 || p[0] != f.out[0][0] || p[1] != f.in[0][1] {
+		t.Fatalf("inter-chip path wrong: %v", names(p))
+	}
+	// Inter-rank: out, bus, in.
+	p = f.path(0, 9)
+	if len(p) != 3 || p[1] != f.bus {
+		t.Fatalf("inter-rank path wrong: %v", names(p))
+	}
+}
+
+func names(hops []*hop) []string {
+	var out []string
+	for _, h := range hops {
+		out = append(out, h.name)
+	}
+	return out
+}
+
+func TestSkewedFinishTimes(t *testing.T) {
+	a := SkewedFinishTimes(64, 100*sim.Microsecond, 50*sim.Microsecond, 1)
+	b := SkewedFinishTimes(64, 100*sim.Microsecond, 50*sim.Microsecond, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different times")
+		}
+		if a[i] < 100*sim.Microsecond || a[i] > 150*sim.Microsecond {
+			t.Fatalf("finish time %v out of range", a[i])
+		}
+	}
+	var varies bool
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("no skew generated")
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	cfg := DefaultConfig(2, 4, 4)
+	done := SkewedFinishTimes(cfg.Nodes(), 10*sim.Microsecond, 5*sim.Microsecond, 3)
+	a, err := SimulateAllToAll(cfg, CreditBased, done, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateAllToAll(cfg, CreditBased, done, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Finish != b.Finish || a.PacketsDelivered != b.PacketsDelivered {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestAllPacketsDelivered(t *testing.T) {
+	cfg := DefaultConfig(1, 2, 4)
+	n := cfg.Nodes()
+	done := flat(n, 0)
+	res, err := SimulateAllToAll(cfg, StaticScheduled, done, int64(n)*cfg.PacketBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n nodes x (n-1) steps, one packet each (block size == packet size).
+	want := int64(n) * int64(n-1)
+	if res.PacketsDelivered != want {
+		t.Fatalf("delivered %d packets, want %d", res.PacketsDelivered, want)
+	}
+	if res.Finish <= 0 {
+		t.Fatal("zero finish time")
+	}
+}
+
+func TestScriptsShape(t *testing.T) {
+	ar := allReduceScripts(8, 1024)
+	if len(ar) != 8 || len(ar[0].msgs) != 14 { // 2*(8-1) steps
+		t.Fatalf("AR scripts: %d nodes x %d steps", len(ar), len(ar[0].msgs))
+	}
+	for _, s := range ar {
+		for _, m := range s.msgs {
+			if m.dst != (m.src+1)%8 {
+				t.Fatal("AR message not to ring successor")
+			}
+		}
+	}
+	aa := allToAllScripts(8, 1024)
+	if len(aa[0].msgs) != 7 {
+		t.Fatalf("A2A steps = %d", len(aa[0].msgs))
+	}
+	// Across all steps every node reaches every other node exactly once.
+	for i, s := range aa {
+		seen := map[int]bool{}
+		for _, m := range s.msgs {
+			if m.dst == i || seen[m.dst] {
+				t.Fatal("A2A destinations wrong")
+			}
+			seen[m.dst] = true
+		}
+	}
+}
+
+// The Fig. 13 headline results as regression tests.
+func TestFlowControlComparison(t *testing.T) {
+	cfg := DefaultConfig(4, 8, 8)
+	done := SkewedFinishTimes(cfg.Nodes(), 100*sim.Microsecond, 20*sim.Microsecond, 42)
+
+	// AllReduce: static scheduling within ~2% of credit-based.
+	arC, err := SimulateAllReduce(cfg, CreditBased, done, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arS, err := SimulateAllReduce(cfg, StaticScheduled, done, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(arS.Finish) / float64(arC.Finish)
+	if ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("AR static/credit = %.3f, want ~1.0 (paper: within 1%%)", ratio)
+	}
+
+	// All-to-All: static scheduling at least 10% faster (paper: 18.7%).
+	aaC, err := SimulateAllToAll(cfg, CreditBased, done, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aaS, err := SimulateAllToAll(cfg, StaticScheduled, done, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(aaS.Finish) > 0.9*float64(aaC.Finish) {
+		t.Fatalf("A2A static (%v) should be >=10%% faster than credit (%v)",
+			aaS.Finish, aaC.Finish)
+	}
+}
+
+func TestNoSkewModesConverge(t *testing.T) {
+	// With identical finish times the two policies see the same network;
+	// only the sync latency separates them.
+	cfg := DefaultConfig(2, 4, 4)
+	done := flat(cfg.Nodes(), 50*sim.Microsecond)
+	c, _ := SimulateAllToAll(cfg, CreditBased, done, 16<<10)
+	s, _ := SimulateAllToAll(cfg, StaticScheduled, done, 16<<10)
+	diff := float64(s.Finish-c.Finish) / float64(c.Finish)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.01 {
+		t.Fatalf("no-skew modes differ by %.2f%%", diff*100)
+	}
+}
+
+func TestTrivialScopes(t *testing.T) {
+	cfg := DefaultConfig(1, 1, 1)
+	res, err := SimulateAllReduce(cfg, CreditBased, flat(1, 0), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish != 0 || res.PacketsDelivered != 0 {
+		t.Fatalf("single node should be free: %+v", res)
+	}
+	if _, err := SimulateAllReduce(cfg, CreditBased, flat(2, 0), 1024); err == nil {
+		t.Fatal("mismatched finish-time count accepted")
+	}
+}
+
+func TestBackpressureWitness(t *testing.T) {
+	// Under skewed all-to-all, queues must actually form (the contention
+	// the static schedule avoids at compile time).
+	cfg := DefaultConfig(4, 8, 8)
+	done := SkewedFinishTimes(cfg.Nodes(), 100*sim.Microsecond, 20*sim.Microsecond, 7)
+	res, err := SimulateAllToAll(cfg, CreditBased, done, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxQueue < 2 {
+		t.Fatalf("expected queueing under credit-based A2A, max queue = %d", res.MaxQueue)
+	}
+}

@@ -1,0 +1,153 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pimnet/internal/sim"
+)
+
+// Synthetic open-loop traffic evaluation — the standard NoC-simulator
+// methodology (offered load vs latency, as in Booksim): every node injects
+// fixed-size packets to uniform-random destinations at a configured rate,
+// and the network's accepted throughput and packet latency are measured.
+// PIMnet itself never runs random traffic (its collectives are compiled),
+// but this characterizes the fabric the credit-based alternative would
+// have to provision: where the rings, the crossbar ports, and the bus
+// saturate.
+
+// TrafficResult extends Result with latency statistics.
+type TrafficResult struct {
+	Result
+	OfferedBps  float64  // per-node offered injection rate
+	AcceptedBps float64  // per-node delivered goodput over the run
+	Injected    int64    // packets generated
+	MeanLatency sim.Time // injection-to-delivery, mean
+	P99Latency  sim.Time
+	MaxLatency  sim.Time
+}
+
+// SimulateUniformRandom drives the network with uniform-random traffic at
+// the given per-node offered rate (bytes/second) for the given simulated
+// duration and returns throughput/latency statistics.
+func SimulateUniformRandom(cfg Config, perNodeBps float64, duration sim.Time, seed int64) (TrafficResult, error) {
+	if err := cfg.validate(); err != nil {
+		return TrafficResult{}, err
+	}
+	if perNodeBps <= 0 || duration <= 0 {
+		return TrafficResult{}, fmt.Errorf("noc: offered rate %v, duration %v", perNodeBps, duration)
+	}
+	n := cfg.Nodes()
+	if n < 2 {
+		return TrafficResult{}, fmt.Errorf("noc: uniform traffic needs >= 2 nodes")
+	}
+	eng := sim.NewEngine()
+	f := buildFabric(cfg)
+	nw := &network{eng: eng}
+	rng := rand.New(rand.NewSource(seed))
+	interval := sim.TransferTime(cfg.PacketBytes, perNodeBps)
+	if interval <= 0 {
+		interval = 1
+	}
+
+	var latencies []sim.Time
+	var injected int64
+	for src := 0; src < n; src++ {
+		src := src
+		// Deterministic per-node jittered start spreads the phases.
+		start := sim.Time(rng.Int63n(int64(interval) + 1))
+		var tick func()
+		tick = func() {
+			if eng.Now() >= duration {
+				return
+			}
+			dst := rng.Intn(n - 1)
+			if dst >= src {
+				dst++
+			}
+			born := eng.Now()
+			injected++
+			pkt := &packet{bytes: cfg.PacketBytes, path: f.path(src, dst)}
+			pkt.onArrive = func(t sim.Time) {
+				latencies = append(latencies, t-born)
+			}
+			nw.inject(pkt, born)
+			eng.After(interval, tick)
+		}
+		eng.At(start, tick)
+	}
+	end := eng.Run()
+	res := TrafficResult{Result: nw.res, OfferedBps: perNodeBps, Injected: injected}
+	res.Finish = end
+	res.MaxQueue = f.maxQueue()
+	if len(latencies) > 0 {
+		var sum sim.Time
+		for _, l := range latencies {
+			sum += l
+			if l > res.MaxLatency {
+				res.MaxLatency = l
+			}
+		}
+		res.MeanLatency = sum / sim.Time(len(latencies))
+		sorted := append([]sim.Time(nil), latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		res.P99Latency = sorted[len(sorted)*99/100]
+		// Goodput: delivered bytes per node over the span traffic flowed.
+		span := end
+		if span <= 0 {
+			span = duration
+		}
+		res.AcceptedBps = float64(res.PacketsDelivered) * float64(cfg.PacketBytes) /
+			span.Seconds() / float64(n)
+	}
+	return res, nil
+}
+
+// LoadSweepPoint is one sample of a latency-throughput curve.
+type LoadSweepPoint struct {
+	OfferedBps  float64
+	AcceptedBps float64
+	Delivered   int64
+	Injected    int64
+	MeanLatency sim.Time
+	P99Latency  sim.Time
+}
+
+// LoadSweep runs SimulateUniformRandom across offered rates and returns the
+// latency-throughput curve. Rates are per node, bytes/second.
+func LoadSweep(cfg Config, rates []float64, duration sim.Time, seed int64) ([]LoadSweepPoint, error) {
+	var out []LoadSweepPoint
+	for _, r := range rates {
+		res, err := SimulateUniformRandom(cfg, r, duration, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LoadSweepPoint{OfferedBps: res.OfferedBps, AcceptedBps: res.AcceptedBps,
+			Delivered: res.PacketsDelivered, Injected: res.Injected,
+			MeanLatency: res.MeanLatency, P99Latency: res.P99Latency})
+	}
+	return out, nil
+}
+
+// SaturationBps estimates the per-node saturation rate of the fabric under
+// uniform-random traffic: the smallest swept rate where mean packet latency
+// exceeds 10x the zero-load latency (the classic knee of the
+// latency-throughput curve; past it, source queues grow without bound and
+// latency is unbounded in steady state). Returns the last rate if no
+// saturation was reached in the sweep.
+func SaturationBps(points []LoadSweepPoint) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	ref := points[0].MeanLatency
+	if ref <= 0 {
+		ref = 1
+	}
+	for _, p := range points {
+		if p.MeanLatency > 10*ref {
+			return p.OfferedBps
+		}
+	}
+	return points[len(points)-1].OfferedBps
+}

@@ -1,0 +1,210 @@
+package noc
+
+import (
+	"fmt"
+
+	"pimnet/internal/collective"
+	"pimnet/internal/sim"
+)
+
+// message is one logical transfer of a collective step.
+type message struct {
+	src, dst int
+	bytes    int64
+}
+
+// nodeScript is a node's ordered message sequence, one message per step
+// (ring collectives and shift all-to-all both have this shape).
+type nodeScript struct {
+	msgs []message
+}
+
+// allReduceScripts builds the logical-ring AllReduce over all N nodes:
+// N-1 reduce-scatter steps followed by N-1 all-gather steps, each node
+// sending one chunk to its clockwise successor per step.
+func allReduceScripts(n int, bytesPerNode int64) []nodeScript {
+	scripts := make([]nodeScript, n)
+	if n <= 1 {
+		return scripts
+	}
+	chunk := func(i int) int64 {
+		lo, hi := collective.ChunkBounds(int(bytesPerNode), n, i)
+		return int64(hi - lo)
+	}
+	for s := 0; s < collective.RingSteps(n); s++ {
+		for i := 0; i < n; i++ {
+			scripts[i].msgs = append(scripts[i].msgs, message{
+				src: i, dst: collective.RingSuccessor(n, i),
+				bytes: chunk(collective.RSSendChunk(n, i, s)),
+			})
+		}
+	}
+	for s := 0; s < collective.RingSteps(n); s++ {
+		for i := 0; i < n; i++ {
+			scripts[i].msgs = append(scripts[i].msgs, message{
+				src: i, dst: collective.RingSuccessor(n, i),
+				bytes: chunk(collective.AGSendChunk(n, i, s)),
+			})
+		}
+	}
+	return scripts
+}
+
+// allToAllScripts builds the shift-schedule personalized exchange: at step
+// s node i sends its block for node (i+s) mod n directly to it.
+func allToAllScripts(n int, bytesPerNode int64) []nodeScript {
+	scripts := make([]nodeScript, n)
+	if n <= 1 {
+		return scripts
+	}
+	blk := bytesPerNode / int64(n)
+	if blk < 1 {
+		blk = 1
+	}
+	for s := 1; s < n; s++ {
+		for i := 0; i < n; i++ {
+			scripts[i].msgs = append(scripts[i].msgs, message{
+				src: i, dst: collective.ShiftDest(n, i, s), bytes: blk,
+			})
+		}
+	}
+	return scripts
+}
+
+// SimulateAllReduce runs the ring AllReduce on the packet network under the
+// chosen flow-control mode. computeDone gives each DPU's kernel completion
+// time (the injection gate in credit mode; the max forms the global START
+// in static mode).
+func SimulateAllReduce(cfg Config, mode Mode, computeDone []sim.Time, bytesPerNode int64) (Result, error) {
+	return simulate(cfg, mode, computeDone, allReduceScripts(cfg.Nodes(), bytesPerNode), true)
+}
+
+// SimulateAllToAll runs the personalized exchange on the packet network.
+func SimulateAllToAll(cfg Config, mode Mode, computeDone []sim.Time, bytesPerNode int64) (Result, error) {
+	return simulate(cfg, mode, computeDone, allToAllScripts(cfg.Nodes(), bytesPerNode), false)
+}
+
+// simulate drives the scripts through the queueing network.
+//
+// Credit mode: node i injects its step-k message once its own compute is
+// done, its step k-1 message has drained (send buffer reuse), and — when
+// recvGate — its step k-1 incoming data has arrived (ring collectives
+// forward received chunks).
+//
+// Static mode: a global barrier separates steps: every node's step-k
+// message is released together after all step k-1 messages delivered plus
+// the READY/START propagation latency.
+func simulate(cfg Config, mode Mode, computeDone []sim.Time, scripts []nodeScript, recvGate bool) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	n := cfg.Nodes()
+	if len(computeDone) != n {
+		return Result{}, fmt.Errorf("noc: %d finish times for %d nodes", len(computeDone), n)
+	}
+	if n <= 1 || len(scripts[0].msgs) == 0 {
+		return Result{}, nil
+	}
+	eng := sim.NewEngine()
+	f := buildFabric(cfg)
+	nw := &network{eng: eng}
+	steps := len(scripts[0].msgs)
+
+	var finish sim.Time
+	delivered := func(t sim.Time) {
+		if t > finish {
+			finish = t
+		}
+	}
+
+	// sendMsg segments a message into packets and calls done(t) when the
+	// last packet lands.
+	sendMsg := func(m message, at sim.Time, done func(sim.Time)) {
+		remaining := m.bytes
+		path := f.path(m.src, m.dst)
+		var pkts []*packet
+		for remaining > 0 {
+			sz := cfg.PacketBytes
+			if sz > remaining {
+				sz = remaining
+			}
+			remaining -= sz
+			pkts = append(pkts, &packet{bytes: sz, path: append([]*hop(nil), path...)})
+		}
+		if len(pkts) == 0 {
+			pkts = append(pkts, &packet{bytes: 0, path: append([]*hop(nil), path...)})
+		}
+		outstanding := len(pkts)
+		for _, p := range pkts {
+			p.onArrive = func(t sim.Time) {
+				outstanding--
+				if outstanding == 0 {
+					done(t)
+				}
+			}
+		}
+		eng.At(at, func() {
+			for _, p := range pkts {
+				nw.inject(p, eng.Now())
+			}
+		})
+	}
+
+	// Injection gates. Static mode is not barriered step by step: the
+	// compile-time offsets make every node's step k start exactly when its
+	// inputs are available, so the network pipelines identically to the
+	// dependency-gated flow — what differs is the launch: a single global
+	// START after the slowest DPU reports READY (plus the sync tree
+	// propagation), versus credit mode where every node injects as soon as
+	// its own compute retires.
+	release := computeDone
+	if mode == StaticScheduled {
+		var start sim.Time
+		for _, t := range computeDone {
+			if t > start {
+				start = t
+			}
+		}
+		start += cfg.SyncLatency
+		release = make([]sim.Time, n)
+		for i := range release {
+			release[i] = start
+		}
+	} else if mode != CreditBased {
+		return Result{}, fmt.Errorf("noc: unknown mode %d", int(mode))
+	}
+
+	sent := make([]int, n)  // messages fully drained per node
+	recvd := make([]int, n) // messages received per node
+	next := make([]int, n)  // next step index to inject
+	var tryInject func(i int)
+	tryInject = func(i int) {
+		k := next[i]
+		if k >= steps || sent[i] < k || (recvGate && recvd[i] < k) {
+			return
+		}
+		next[i]++
+		m := scripts[i].msgs[k]
+		at := release[i]
+		if eng.Now() > at {
+			at = eng.Now()
+		}
+		sendMsg(m, at, func(t sim.Time) {
+			delivered(t)
+			sent[i] = k + 1
+			recvd[m.dst]++
+			tryInject(i)
+			tryInject(m.dst)
+		})
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		eng.At(release[i], func() { tryInject(i) })
+	}
+
+	eng.Run()
+	res := nw.res
+	res.Finish = finish
+	res.MaxQueue = f.maxQueue()
+	return res, nil
+}

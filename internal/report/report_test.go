@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"pimnet/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := New("Demo", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta-long-name", "22")
+	tbl.AddRow("gamma") // short row padded
+	if tbl.Rows() != 3 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	s := tbl.String()
+	if !strings.HasPrefix(s, "Demo\n") {
+		t.Fatalf("title missing: %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("line count = %d", len(lines))
+	}
+	// Columns aligned: every data line has the value column at the same
+	// offset as the header's.
+	hdr := lines[1]
+	col := strings.Index(hdr, "value")
+	if !strings.HasPrefix(lines[3][col:], "1") {
+		t.Fatalf("column misaligned:\n%s", s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := New("", "a", "b")
+	tbl.AddRow("x,y", `quote"d`)
+	csv := tbl.CSV()
+	want := "a,b\n\"x,y\",\"quote\"\"d\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Time(2*sim.Microsecond) != "2.00us" {
+		t.Fatal("Time format")
+	}
+	if Speedup(12.345) != "12.35x" {
+		t.Fatal("Speedup format")
+	}
+	if Pct(0.5) != "50.0%" {
+		t.Fatal("Pct format")
+	}
+	if GBps(19.2e9) != "19.20 GB/s" {
+		t.Fatal("GBps format")
+	}
+	cases := map[int64]string{
+		512:     "512 B",
+		2 << 10: "2.0 KiB",
+		3 << 20: "3.0 MiB",
+		4 << 30: "4.0 GiB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Fatalf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if F(0.123456) != "0.123" {
+		t.Fatalf("F = %q", F(0.123456))
+	}
+}

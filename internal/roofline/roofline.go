@@ -1,0 +1,88 @@
+// Package roofline implements the two performance models of the paper's
+// motivation section (Fig. 2): the classic roofline [87] relating
+// operational intensity to attainable compute throughput, and the
+// communication-aware roofline [14] that replaces memory bandwidth with
+// collective-communication bandwidth — the model under which the four PIM
+// communication designs (Baseline, Max DRAM BW, Software(Ideal), PIMnet)
+// separate into different slopes.
+package roofline
+
+import (
+	"fmt"
+	"math"
+
+	"pimnet/internal/backend"
+	"pimnet/internal/collective"
+)
+
+// Point is one roofline sample.
+type Point struct {
+	Intensity  float64 // ops per byte
+	Throughput float64 // ops per second
+}
+
+// Series is a named roofline curve.
+type Series struct {
+	Name   string
+	BWBps  float64 // the slope: bytes/second available to the bound resource
+	Points []Point
+}
+
+// Attainable returns the classic roofline value min(peak, I*BW).
+func Attainable(peakOps, bwBps, intensity float64) float64 {
+	if v := intensity * bwBps; v < peakOps {
+		return v
+	}
+	return peakOps
+}
+
+// Achieved returns the throughput of a workload that alternates compute at
+// peak with communication at bwBps (no overlap): the harmonic combination
+// ops / (ops/peak + bytes/bw). This is what a real phase-structured PIM
+// workload attains, and is everywhere <= Attainable.
+func Achieved(peakOps, bwBps, intensity float64) float64 {
+	if peakOps <= 0 || bwBps <= 0 || intensity <= 0 {
+		return 0
+	}
+	return intensity / (intensity/peakOps + 1/bwBps)
+}
+
+// Sweep samples a roofline curve over logarithmically spaced intensities.
+func Sweep(name string, peakOps, bwBps float64, intensities []float64, achieved bool) Series {
+	s := Series{Name: name, BWBps: bwBps}
+	for _, i := range intensities {
+		v := Attainable(peakOps, bwBps, i)
+		if achieved {
+			v = Achieved(peakOps, bwBps, i)
+		}
+		s.Points = append(s.Points, Point{Intensity: i, Throughput: v})
+	}
+	return s
+}
+
+// LogSpace returns n logarithmically spaced values from lo to hi.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// EffectiveCollectiveBW measures a backend's effective collective bandwidth
+// — aggregate payload divided by completion time — for the given request.
+// These are the slopes of Fig. 2(b).
+func EffectiveCollectiveBW(be backend.Backend, req collective.Request) (float64, error) {
+	res, err := be.Collective(req)
+	if err != nil {
+		return 0, fmt.Errorf("roofline: %w", err)
+	}
+	if res.Time <= 0 {
+		return 0, fmt.Errorf("roofline: zero collective time")
+	}
+	return float64(req.TotalBytes()) / res.Time.Seconds(), nil
+}

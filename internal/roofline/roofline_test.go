@@ -1,0 +1,102 @@
+package roofline
+
+import (
+	"testing"
+
+	"pimnet/internal/collective"
+	"pimnet/internal/config"
+	"pimnet/internal/core"
+	"pimnet/internal/host"
+)
+
+func TestAttainable(t *testing.T) {
+	// Below the ridge: bandwidth bound. Above: compute bound.
+	if got := Attainable(100, 10, 2); got != 20 {
+		t.Fatalf("Attainable = %v, want 20", got)
+	}
+	if got := Attainable(100, 10, 50); got != 100 {
+		t.Fatalf("Attainable = %v, want 100", got)
+	}
+}
+
+func TestAchievedBelowAttainable(t *testing.T) {
+	for _, i := range LogSpace(0.01, 1000, 30) {
+		a := Attainable(1e9, 1e8, i)
+		h := Achieved(1e9, 1e8, i)
+		if h > a {
+			t.Fatalf("achieved (%v) above attainable (%v) at I=%v", h, a, i)
+		}
+		if h <= 0 {
+			t.Fatalf("achieved = %v at I=%v", h, i)
+		}
+	}
+	if Achieved(0, 1, 1) != 0 || Achieved(1, 0, 1) != 0 || Achieved(1, 1, 0) != 0 {
+		t.Fatal("degenerate Achieved should be zero")
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	v := LogSpace(1, 1000, 4)
+	if len(v) != 4 {
+		t.Fatalf("len = %d", len(v))
+	}
+	if v[0] != 1 || v[3] < 999 || v[3] > 1001 {
+		t.Fatalf("endpoints wrong: %v", v)
+	}
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			t.Fatal("not increasing")
+		}
+	}
+	if got := LogSpace(0, 10, 5); len(got) != 1 {
+		t.Fatal("degenerate LogSpace should clamp")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	s := Sweep("test", 1e9, 1e8, LogSpace(0.1, 100, 10), false)
+	if s.Name != "test" || len(s.Points) != 10 {
+		t.Fatalf("sweep shape wrong: %+v", s)
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Throughput < s.Points[i-1].Throughput {
+			t.Fatal("roofline not monotone in intensity")
+		}
+	}
+}
+
+// The Fig. 2 ordering: Baseline < MaxDRAM < Software(Ideal) < PIMnet in
+// effective collective bandwidth.
+func TestFig2SlopeOrdering(t *testing.T) {
+	sys, _ := config.Default().WithDPUs(256)
+	req := collective.Request{Pattern: collective.AllReduce, Op: collective.Sum,
+		BytesPerNode: 32 << 10, ElemSize: 4, Nodes: 256}
+	b, _ := host.NewBaseline(sys)
+	m, _ := host.NewMaxDRAM(sys)
+	s, _ := host.NewIdeal(sys)
+	p, _ := core.NewPIMnet(sys)
+	var bw [4]float64
+	var err error
+	if bw[0], err = EffectiveCollectiveBW(b, req); err != nil {
+		t.Fatal(err)
+	}
+	if bw[1], err = EffectiveCollectiveBW(m, req); err != nil {
+		t.Fatal(err)
+	}
+	if bw[2], err = EffectiveCollectiveBW(s, req); err != nil {
+		t.Fatal(err)
+	}
+	if bw[3], err = EffectiveCollectiveBW(p, req); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if bw[i] <= bw[i-1] {
+			t.Fatalf("Fig. 2 slope ordering violated: %v", bw)
+		}
+	}
+	// PIMnet's effective bandwidth should be several times the ideal
+	// software slope (the paper quotes ~8x more compute throughput).
+	if bw[3] < 2*bw[2] {
+		t.Fatalf("PIMnet bw (%v) should be >=2x ideal software (%v)", bw[3], bw[2])
+	}
+}

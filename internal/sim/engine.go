@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a callback scheduled for a simulated instant. seq provides stable
+// FIFO ordering among events at the same instant.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (Time, bool) { // earliest pending instant
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Engine is a sequential discrete-event simulator. It is not safe for
+// concurrent use; all actors in a simulation share one engine and one
+// logical timeline.
+type Engine struct {
+	now       Time
+	heap      eventHeap
+	seq       uint64
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have run so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at absolute instant t. Scheduling in the past
+// panics: it always indicates a modelling bug, and silently reordering the
+// timeline would corrupt every downstream measurement.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before current time %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock. It reports
+// whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain or Stop is called, and returns the
+// final simulated time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond it stay pending.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		at, ok := e.heap.peek()
+		if !ok || at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Stop makes the current Run/RunUntil return after the in-flight event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }

@@ -1,0 +1,87 @@
+package sim
+
+import "fmt"
+
+// Link models a point-to-point channel with a fixed bandwidth and a fixed
+// propagation latency. Transfers are serialized FIFO in reservation order:
+// a transfer occupies the wire for bytes/bandwidth, and its last byte lands
+// latency after it left. Back-to-back transfers pipeline — the propagation
+// latency of one overlaps the serialization of the next — which matches how
+// both DDR buses and the PIMnet channels behave.
+//
+// Link is also used for half-duplex buses; callers that need direction
+// semantics simply share one Link between both directions.
+type Link struct {
+	name    string
+	bwBps   float64 // bytes per second
+	latency Time
+
+	free      Time // instant the wire becomes idle
+	busyTotal Time // accumulated occupancy, for utilization reporting
+	transfers uint64
+	bytes     int64
+}
+
+// NewLink returns a link with the given bandwidth (bytes/second) and
+// propagation latency.
+func NewLink(name string, bwBytesPerSec float64, latency Time) *Link {
+	return &Link{name: name, bwBps: bwBytesPerSec, latency: latency}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth returns the configured bandwidth in bytes per second.
+func (l *Link) Bandwidth() float64 { return l.bwBps }
+
+// Latency returns the configured propagation latency.
+func (l *Link) Latency() Time { return l.latency }
+
+// SetBandwidth adjusts the link bandwidth; used by sensitivity sweeps.
+func (l *Link) SetBandwidth(bwBytesPerSec float64) { l.bwBps = bwBytesPerSec }
+
+// FreeAt returns the instant the wire next becomes idle.
+func (l *Link) FreeAt() Time { return l.free }
+
+// Reserve books a transfer of the given size requested at instant `at`.
+// It returns the instant serialization starts (>= at, after queued traffic
+// drains) and the instant the last byte arrives at the receiver.
+func (l *Link) Reserve(at Time, bytes int64) (start, done Time) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("sim: negative transfer size %d on %s", bytes, l.name))
+	}
+	start = MaxOf(at, l.free)
+	ser := TransferTime(bytes, l.bwBps)
+	l.free = start + ser
+	l.busyTotal += ser
+	l.transfers++
+	l.bytes += bytes
+	return start, l.free + l.latency
+}
+
+// Occupancy returns the total time the wire has spent busy.
+func (l *Link) Occupancy() Time { return l.busyTotal }
+
+// Transfers returns the number of reservations made.
+func (l *Link) Transfers() uint64 { return l.transfers }
+
+// Bytes returns the total bytes reserved across all transfers.
+func (l *Link) Bytes() int64 { return l.bytes }
+
+// Reset clears dynamic state (reservations and statistics) while keeping
+// the configuration, so one topology can be reused across experiment runs.
+func (l *Link) Reset() {
+	l.free = 0
+	l.busyTotal = 0
+	l.transfers = 0
+	l.bytes = 0
+}
+
+// Utilization returns occupancy as a fraction of the horizon (0 when the
+// horizon is empty).
+func (l *Link) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(l.busyTotal) / float64(horizon)
+}

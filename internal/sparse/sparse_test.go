@@ -1,0 +1,161 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testMatrix(t *testing.T) *COO {
+	t.Helper()
+	m, err := Generate(Config{Rows: 512, Cols: 256, NNZ: 4000, Skew: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{Rows: 0, Cols: 4, NNZ: 1},
+		{Rows: 4, Cols: 0, NNZ: 1},
+		{Rows: 4, Cols: 4, NNZ: 0},
+		{Rows: 4, Cols: 4, NNZ: 17},
+		{Rows: 4, Cols: 4, NNZ: 4, Skew: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	m := testMatrix(t)
+	if m.NNZ() != 4000 {
+		t.Fatalf("nnz = %d, want 4000 (map dedup guarantees exact count)", m.NNZ())
+	}
+	for i := range m.Val {
+		if m.RowIdx[i] < 0 || int(m.RowIdx[i]) >= m.Rows {
+			t.Fatal("row index out of range")
+		}
+		if m.ColIdx[i] < 0 || int(m.ColIdx[i]) >= m.Cols {
+			t.Fatal("col index out of range")
+		}
+		if m.Val[i] == 0 {
+			t.Fatal("explicit zero stored")
+		}
+	}
+	// Sorted by (row, col) with no duplicates.
+	for i := 1; i < len(m.Val); i++ {
+		if m.RowIdx[i] < m.RowIdx[i-1] ||
+			(m.RowIdx[i] == m.RowIdx[i-1] && m.ColIdx[i] <= m.ColIdx[i-1]) {
+			t.Fatal("coordinates not strictly sorted")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := testMatrix(t)
+	b := testMatrix(t)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed, different nnz")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] || a.RowIdx[i] != b.RowIdx[i] {
+			t.Fatal("same seed, different matrix")
+		}
+	}
+}
+
+func TestSkewConcentratesRows(t *testing.T) {
+	uniform, _ := Generate(Config{Rows: 1000, Cols: 100, NNZ: 5000, Skew: 0, Seed: 3})
+	skewed, _ := Generate(Config{Rows: 1000, Cols: 100, NNZ: 5000, Skew: 2, Seed: 3})
+	firstDecile := func(m *COO) int64 {
+		var n int64
+		for _, r := range m.RowIdx {
+			if r < 100 {
+				n++
+			}
+		}
+		return n
+	}
+	if firstDecile(skewed) < 2*firstDecile(uniform) {
+		t.Fatalf("skew did not concentrate nonzeros: %d vs %d",
+			firstDecile(skewed), firstDecile(uniform))
+	}
+}
+
+func TestSpMVReference(t *testing.T) {
+	// Tiny hand-checked case: [[1,2],[0,3]] * [10, 20] = [50, 60].
+	m := &COO{Rows: 2, Cols: 2,
+		RowIdx: []int32{0, 0, 1}, ColIdx: []int32{0, 1, 1}, Val: []int32{1, 2, 3}}
+	y, err := SpMV(m, []int32{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 50 || y[1] != 60 {
+		t.Fatalf("y = %v", y)
+	}
+	if _, err := SpMV(m, []int32{1}); err == nil {
+		t.Fatal("wrong x length accepted")
+	}
+}
+
+func TestDBCOOPartition(t *testing.T) {
+	m := testMatrix(t)
+	d, err := PartitionDBCOO(m, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Parts) != 256 {
+		t.Fatalf("parts = %d, want 256", len(d.Parts))
+	}
+	var sum int64
+	for _, p := range d.Parts {
+		sum += p.NNZ
+	}
+	if sum != m.NNZ() {
+		t.Fatalf("partition nnz %d != matrix nnz %d", sum, m.NNZ())
+	}
+	if d.MaxPartNNZ() <= 0 || d.MaxPartNNZ() > m.NNZ() {
+		t.Fatalf("max part nnz = %d", d.MaxPartNNZ())
+	}
+	if d.PartialOutputBytes() != int64((512+7)/8)*4 {
+		t.Fatalf("partial output bytes = %d", d.PartialOutputBytes())
+	}
+	if _, err := PartitionDBCOO(m, 0, 8); err == nil {
+		t.Fatal("bad partition accepted")
+	}
+}
+
+func TestPartitionedSpMVMatchesReference(t *testing.T) {
+	m := testMatrix(t)
+	rng := rand.New(rand.NewSource(5))
+	x := make([]int32, m.Cols)
+	for i := range x {
+		x[i] = int32(rng.Intn(50) - 25)
+	}
+	want, err := SpMV(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blocks := range []int{1, 4, 32} {
+		d, err := PartitionDBCOO(m, blocks, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.PartitionedSpMV(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("blocks=%d row %d: got %d want %d", blocks, r, got[r], want[r])
+			}
+		}
+	}
+	d, _ := PartitionDBCOO(m, 4, 4)
+	if _, err := d.PartitionedSpMV(x[:3]); err == nil {
+		t.Fatal("wrong x length accepted")
+	}
+}

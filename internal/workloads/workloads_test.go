@@ -1,0 +1,234 @@
+package workloads
+
+import (
+	"testing"
+
+	"pimnet/internal/collective"
+	"pimnet/internal/embtab"
+	"pimnet/internal/graphgen"
+	"pimnet/internal/sparse"
+)
+
+func opt() Options { return Options{Nodes: 256, Seed: 1} }
+
+func smallGraph() graphgen.RMATConfig {
+	return graphgen.RMATConfig{Vertices: 2048, Edges: 10000, A: 0.57, B: 0.19, C: 0.19, Seed: 3}
+}
+
+func TestBFSWorkload(t *testing.T) {
+	wl, err := BFS(opt(), smallGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Phases) < 2 {
+		t.Fatalf("BFS has %d levels", len(wl.Phases))
+	}
+	for _, ph := range wl.Phases {
+		if ph.Collective == nil || ph.Collective.Pattern != collective.AllReduce ||
+			ph.Collective.Op != collective.Or {
+			t.Fatal("BFS must AllReduce(Or) each level")
+		}
+		if ph.Collective.BytesPerNode != 256 { // 2048 vertices / 8 bits
+			t.Fatalf("frontier bitmap = %d bytes", ph.Collective.BytesPerNode)
+		}
+		if ph.Kernel.Instructions() == 0 {
+			t.Fatal("BFS level with no compute")
+		}
+	}
+}
+
+func TestCCWorkload(t *testing.T) {
+	wl, err := CC(opt(), smallGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Phases) != 1 {
+		t.Fatalf("CC phases = %d", len(wl.Phases))
+	}
+	ph := wl.Phases[0]
+	if ph.Repeat < 2 {
+		t.Fatalf("CC iterations = %d, label propagation needs several", ph.Repeat)
+	}
+	if ph.Collective.Op != collective.Min {
+		t.Fatal("CC must AllReduce(Min)")
+	}
+	if ph.Collective.BytesPerNode != 2048*4 {
+		t.Fatalf("label array = %d bytes", ph.Collective.BytesPerNode)
+	}
+}
+
+func TestGEMVAndMLP(t *testing.T) {
+	g, err := GEMV(opt(), 2048, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Phases[0].Repeat != 8 {
+		t.Fatal("GEMV layer repeat wrong")
+	}
+	if g.Phases[0].Collective.Pattern != collective.ReduceScatter {
+		t.Fatal("GEMV must ReduceScatter")
+	}
+	if g.Phases[0].Kernel.Muls != 2048*128/256 {
+		t.Fatalf("GEMV muls = %d", g.Phases[0].Kernel.Muls)
+	}
+	m, err := MLP(opt(), []int{256, 512, 1024}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Phases) != 3 {
+		t.Fatalf("MLP phases = %d", len(m.Phases))
+	}
+	// Larger layers mean more compute and communication.
+	if m.Phases[2].Kernel.Muls <= m.Phases[0].Kernel.Muls {
+		t.Fatal("MLP layer compute not growing")
+	}
+	if m.Phases[2].Collective.BytesPerNode <= m.Phases[0].Collective.BytesPerNode {
+		t.Fatal("MLP layer activation not growing")
+	}
+	if _, err := MLP(opt(), nil, 4); err == nil {
+		t.Fatal("empty MLP accepted")
+	}
+	if _, err := MLP(opt(), []int{0}, 4); err == nil {
+		t.Fatal("zero layer accepted")
+	}
+	if _, err := GEMV(opt(), 0, 1, 1); err == nil {
+		t.Fatal("bad GEMV accepted")
+	}
+}
+
+func TestSpMVWorkload(t *testing.T) {
+	cfg := sparse.Config{Rows: 4096, Cols: 4096, NNZ: 30000, Skew: 1, Seed: 2}
+	wl, err := SpMV(opt(), cfg, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := wl.Phases[0]
+	if ph.Collective.Pattern != collective.ReduceScatter {
+		t.Fatal("SpMV must ReduceScatter")
+	}
+	if ph.Kernel.Muls <= 0 {
+		t.Fatal("SpMV has no multiplies")
+	}
+	if _, err := SpMV(opt(), cfg, 7); err == nil {
+		t.Fatal("non-dividing column blocks accepted")
+	}
+}
+
+func TestEMBWorkload(t *testing.T) {
+	part := embtab.Partitioning{Cols: 8, Rows: 32}
+	wl, err := EMB(opt(), embtab.Synthetic(), part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := wl.Phases[0]
+	if ph.Collective.Pattern != collective.ReduceScatter {
+		t.Fatal("EMB must ReduceScatter")
+	}
+	if ph.MRAMRandom == 0 {
+		t.Fatal("EMB lookups must hit MRAM randomly")
+	}
+	if _, err := EMB(opt(), embtab.Synthetic(), embtab.Partitioning{Cols: 4, Rows: 4}); err == nil {
+		t.Fatal("mismatched partitioning accepted")
+	}
+}
+
+func TestNTTWorkload(t *testing.T) {
+	wl, err := NTT(opt(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Phases) != 2 {
+		t.Fatalf("NTT phases = %d", len(wl.Phases))
+	}
+	if wl.Phases[0].Collective == nil || wl.Phases[0].Collective.Pattern != collective.AllToAll {
+		t.Fatal("NTT step 1 must end in All-to-All")
+	}
+	if wl.Phases[1].Collective != nil {
+		t.Fatal("NTT step 2 has no collective")
+	}
+	// Row step includes twiddle multiplies: more muls than column step.
+	if wl.Phases[1].Kernel.Muls <= wl.Phases[0].Kernel.Muls {
+		t.Fatal("twiddle multiplies missing")
+	}
+	for _, bad := range []int{3, 0, 34} {
+		if _, err := NTT(opt(), bad); err == nil {
+			t.Fatalf("logN=%d accepted", bad)
+		}
+	}
+	if _, err := NTT(Options{Nodes: 1024, Seed: 1}, 16); err == nil {
+		t.Fatal("more DPUs than columns accepted")
+	}
+}
+
+func TestJoinWorkload(t *testing.T) {
+	wl, err := Join(opt(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Phases) != 2 {
+		t.Fatalf("Join phases = %d", len(wl.Phases))
+	}
+	if wl.Phases[0].Collective.Pattern != collective.AllToAll {
+		t.Fatal("Join partition phase must All-to-All")
+	}
+	if wl.Phases[1].MRAMRandom == 0 {
+		t.Fatal("Join probe phase must hit MRAM randomly")
+	}
+	if _, err := Join(opt(), 10); err == nil {
+		t.Fatal("too few tuples accepted")
+	}
+}
+
+func TestSuiteScaled(t *testing.T) {
+	suite, err := Suite(SuiteConfig{Nodes: 256, Seed: 1, Scaled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 8 {
+		t.Fatalf("suite has %d workloads, want 8", len(suite))
+	}
+	names := map[string]bool{}
+	for _, wl := range suite {
+		names[wl.Name] = true
+		if len(wl.Phases) == 0 {
+			t.Fatalf("%s has no phases", wl.Name)
+		}
+	}
+	for _, want := range []string{"BFS", "CC", "GEMV-2048x128", "MLP", "SpMV", "EMB", "NTT", "Join"} {
+		if !names[want] {
+			t.Fatalf("suite missing %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestEMBProduction(t *testing.T) {
+	wls, err := EMBProduction(opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wls) != 3 {
+		t.Fatalf("production workloads = %d", len(wls))
+	}
+	// RM3 must communicate the most (largest batch) while its lookup work
+	// per communicated byte is the smallest — the paper's reason it
+	// benefits most from PIMnet.
+	rm1 := wls[0].Phases[0]
+	rm3 := wls[2].Phases[0]
+	if rm3.Collective.BytesPerNode <= rm1.Collective.BytesPerNode {
+		t.Fatal("RM3 should communicate more than RM1")
+	}
+	r1 := float64(rm1.MRAMRandom) / float64(rm1.Collective.BytesPerNode)
+	r3 := float64(rm3.MRAMRandom) / float64(rm3.Collective.BytesPerNode)
+	if r3 >= r1 {
+		t.Fatal("RM3 should do less memory access per communicated byte than RM1")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := BFS(Options{Nodes: 0}, smallGraph()); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := GEMV(Options{Nodes: -1}, 4, 4, 1); err == nil {
+		t.Fatal("negative nodes accepted")
+	}
+}

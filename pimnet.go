@@ -1,0 +1,166 @@
+// Package pimnet is a simulation library reproducing "PIMnet: A
+// Domain-Specific Network for Efficient Collective Communication in
+// Scalable PIM" (HPCA 2025).
+//
+// It models a UPMEM-class processing-in-memory system — banks of
+// general-purpose DPUs inside DDR4 DRAM chips — and five ways of performing
+// collective communication between the PIM banks:
+//
+//   - Baseline: the commodity path, where the host CPU relays every byte
+//     over the shared memory channel (SimplePIM-style);
+//   - Software(Ideal): an upper bound on software approaches such as
+//     PID-Comm, with zero host overhead and full channel bandwidth;
+//   - DIMM-Link: dedicated inter-DIMM bridges with buffer-chip collectives;
+//   - NDPBridge: hierarchical hardware message forwarding, host-relayed
+//     between ranks, no in-network reduction;
+//   - PIMnet: the paper's contribution — a statically scheduled,
+//     bufferless, PIM-controlled multi-tier interconnect (inter-bank ring,
+//     inter-chip crossbar, inter-rank bus) compiled per collective.
+//
+// The library includes the full evaluation stack: the eight application
+// workloads of the paper (BFS, CC, GEMV, MLP, SpMV, EMB, NTT, Join) built
+// on real substrates (graph generator and traversals, sparse matrices,
+// Goldilocks-field NTT, embedding tables, hash joins), a packet-level
+// network simulator for the flow-control study, roofline models, an
+// analytical hardware-cost model, and experiment runners that regenerate
+// every figure and table of the paper (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	sys, _ := pimnet.DefaultSystem().WithDPUs(256)
+//	p, _ := pimnet.NewPIMnet(sys)
+//	res, _ := p.Collective(pimnet.Request{
+//	    Pattern: pimnet.AllReduce, Op: pimnet.Sum,
+//	    BytesPerNode: 32 << 10, ElemSize: 4, Nodes: 256,
+//	})
+//	fmt.Println(res.Time, res.Breakdown.String())
+package pimnet
+
+import (
+	"pimnet/internal/backend"
+	"pimnet/internal/baselines"
+	"pimnet/internal/collective"
+	"pimnet/internal/config"
+	"pimnet/internal/core"
+	"pimnet/internal/host"
+	"pimnet/internal/machine"
+	"pimnet/internal/metrics"
+	"pimnet/internal/sim"
+	"pimnet/internal/workloads"
+)
+
+// Core types re-exported from the internal packages.
+type (
+	// System is the simulated platform configuration (topology, tier
+	// bandwidths, DPU parameters, host-path characteristics).
+	System = config.System
+	// Request describes one collective invocation.
+	Request = collective.Request
+	// Pattern is a collective-communication pattern.
+	Pattern = collective.Pattern
+	// Op is an elementwise reduction operator.
+	Op = collective.Op
+	// Backend executes collectives on one communication substrate.
+	Backend = backend.Backend
+	// Result is the outcome of a collective invocation.
+	Result = backend.Result
+	// Time is a simulated duration in picoseconds.
+	Time = sim.Time
+	// Breakdown attributes simulated time to components.
+	Breakdown = metrics.Breakdown
+	// Machine binds a system configuration to a backend and runs workloads.
+	Machine = machine.Machine
+	// Workload is a phase graph of compute supersteps and collectives.
+	Workload = machine.Workload
+	// Report is a workload execution outcome.
+	Report = machine.Report
+	// WorkloadOptions selects a workload's execution scope.
+	WorkloadOptions = workloads.Options
+)
+
+// Collective patterns (paper Table V).
+const (
+	ReduceScatter = collective.ReduceScatter
+	AllGather     = collective.AllGather
+	AllReduce     = collective.AllReduce
+	AllToAll      = collective.AllToAll
+	Broadcast     = collective.Broadcast
+	Gather        = collective.Gather
+	Reduce        = collective.Reduce
+)
+
+// Reduction operators.
+const (
+	Sum = collective.Sum
+	Min = collective.Min
+	Max = collective.Max
+	Or  = collective.Or
+)
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DefaultSystem returns the paper's evaluation configuration (Tables II,
+// IV, VI): one DDR4-2400 channel, 4 ranks x 8 chips x 8 banks = 256 DPUs.
+func DefaultSystem() System { return config.Default() }
+
+// UPMEMServer returns the characterized 20-DIMM server shape of Table II.
+func UPMEMServer() System { return config.UPMEMServer() }
+
+// NewPIMnet builds the paper's proposed interconnect for one channel.
+func NewPIMnet(sys System) (*core.PIMnet, error) { return core.NewPIMnet(sys) }
+
+// NewBaseline builds the measured host-relayed path.
+func NewBaseline(sys System) (*host.Path, error) { return host.NewBaseline(sys) }
+
+// NewIdealSoftware builds the zero-overhead software upper bound.
+func NewIdealSoftware(sys System) (*host.Path, error) { return host.NewIdeal(sys) }
+
+// NewDIMMLink builds the DIMM-Link prior-work model.
+func NewDIMMLink(sys System) (*baselines.DIMMLink, error) { return baselines.NewDIMMLink(sys) }
+
+// NewNDPBridge builds the NDPBridge prior-work model.
+func NewNDPBridge(sys System) (*baselines.NDPBridge, error) { return baselines.NewNDPBridge(sys) }
+
+// NewMachine binds a system and a backend into a workload runner.
+func NewMachine(sys System, be Backend) (*Machine, error) { return machine.New(sys, be) }
+
+// Backends builds all five comparison backends for one system shape, in
+// the paper's figure order (B, S, N, D, P).
+func Backends(sys System) ([]Backend, error) {
+	b, err := host.NewBaseline(sys)
+	if err != nil {
+		return nil, err
+	}
+	s, err := host.NewIdeal(sys)
+	if err != nil {
+		return nil, err
+	}
+	n, err := baselines.NewNDPBridge(sys)
+	if err != nil {
+		return nil, err
+	}
+	d, err := baselines.NewDIMMLink(sys)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPIMnet(sys)
+	if err != nil {
+		return nil, err
+	}
+	return []Backend{b, s, n, d, p}, nil
+}
+
+// EvaluationSuite builds the paper's eight workloads (Table VII) for the
+// given DPU population. scaled selects reduced inputs for quick runs.
+func EvaluationSuite(nodes int, seed int64, scaled bool) ([]Workload, error) {
+	return workloads.Suite(workloads.SuiteConfig{Nodes: nodes, Seed: seed, Scaled: scaled})
+}
+
+// Speedup returns a.Total / b.Total.
+func Speedup(a, b Report) float64 { return machine.Speedup(a, b) }

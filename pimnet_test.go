@@ -1,0 +1,89 @@
+package pimnet_test
+
+import (
+	"testing"
+
+	"pimnet"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	sys, err := pimnet.DefaultSystem().WithDPUs(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pimnet.NewPIMnet(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Collective(pimnet.Request{
+		Pattern: pimnet.AllReduce, Op: pimnet.Sum,
+		BytesPerNode: 32 << 10, ElemSize: 4, Nodes: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatal("zero collective time")
+	}
+}
+
+func TestFacadeBackends(t *testing.T) {
+	sys, _ := pimnet.DefaultSystem().WithDPUs(64)
+	bes, err := pimnet.Backends(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bes) != 5 {
+		t.Fatalf("backends = %d", len(bes))
+	}
+	want := []string{"Baseline", "Software(Ideal)", "NDPBridge", "DIMM-Link", "PIMnet"}
+	for i, be := range bes {
+		if be.Name() != want[i] {
+			t.Fatalf("backend %d = %s, want %s", i, be.Name(), want[i])
+		}
+	}
+}
+
+func TestFacadeMachineAndSuite(t *testing.T) {
+	sys, _ := pimnet.DefaultSystem().WithDPUs(256)
+	suite, err := pimnet.EvaluationSuite(256, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 8 {
+		t.Fatalf("suite = %d workloads", len(suite))
+	}
+	b, _ := pimnet.NewBaseline(sys)
+	p, _ := pimnet.NewPIMnet(sys)
+	mb, err := pimnet.NewMachine(sys, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := pimnet.NewMachine(sys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := mb.Run(suite[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := mp.Run(suite[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pimnet.Speedup(rb, rp) <= 1 {
+		t.Fatalf("PIMnet should beat baseline on %s", suite[0].Name)
+	}
+}
+
+func TestFacadeServerShapes(t *testing.T) {
+	if err := pimnet.DefaultSystem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pimnet.UPMEMServer().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pimnet.UPMEMServer().TotalDPUs() <= pimnet.DefaultSystem().TotalDPUs() {
+		t.Fatal("server should hold more DPUs than one channel")
+	}
+}
