@@ -1,0 +1,24 @@
+# Developer entry points. `make check` is the CI gate: vet plus the full
+# test suite under the race detector.
+
+GO ?= go
+
+.PHONY: build test check fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The CI gate: static analysis and the race-enabled suite must both pass.
+check:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+# Short fuzz pass over the collective verify interpreter (the recovery
+# ladder's correctness oracle); extend -fuzztime for deeper runs.
+fuzz:
+	$(GO) test -fuzz=FuzzVerify -fuzztime=30s ./internal/collective/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -7,6 +7,13 @@
 //	pimnetsim -backend baseline -workload CC -dpus 256
 //	pimnetsim -compare -pattern alltoall -bytes 32768 -dpus 256
 //	pimnetsim -plan -pattern allreduce -dpus 64   # dump the compiled schedule
+//	pimnetsim -faults fail-chip=1 -fault-seed 7 -pattern allreduce -dpus 256
+//
+// The -faults spec is a comma-separated key=value list injecting
+// deterministic faults into the pimnet backend: degrade=<n>,
+// degrade-factor=<f>, fail-ring=<n>, fail-chip=<n>, straggler=<n>,
+// straggler-factor=<f>, corrupt=<p>, syncdrop=<p>. -fault-seed selects the
+// (reproducible) fault placement.
 package main
 
 import (
@@ -32,36 +39,110 @@ var patterns = map[string]pimnet.Pattern{
 	"reduce":        pimnet.Reduce,
 }
 
+var backendAliases = map[string]string{
+	"baseline": "Baseline", "ideal": "Software(Ideal)",
+	"ndpbridge": "NDPBridge", "dimmlink": "DIMM-Link", "pimnet": "PIMnet",
+}
+
+// workloadNames are the canonical Table VII workload names accepted (by
+// case-insensitive prefix) by -workload.
+var workloadNames = []string{"BFS", "CC", "GEMV", "MLP", "SpMV", "EMB", "NTT", "Join"}
+
+// options collects the parsed command line.
+type options struct {
+	backend   string
+	pattern   string
+	bytes     int64
+	dpus      int
+	workload  string
+	scaled    bool
+	compare   bool
+	plan      bool
+	faults    string
+	faultSeed int64
+}
+
 func main() {
-	backendName := flag.String("backend", "pimnet", "baseline | ideal | ndpbridge | dimmlink | pimnet")
-	pattern := flag.String("pattern", "allreduce", "collective pattern")
-	bytesPer := flag.Int64("bytes", 32<<10, "payload bytes per DPU")
-	dpus := flag.Int("dpus", 256, "DPU population (power-of-two shapes of the default hierarchy)")
-	workload := flag.String("workload", "", "run a named workload instead (BFS, CC, GEMV, MLP, SpMV, EMB, NTT, Join)")
-	scaled := flag.Bool("scaled", true, "reduced workload inputs")
-	compare := flag.Bool("compare", false, "run all five backends")
-	plan := flag.Bool("plan", false, "dump the compiled PIMnet schedule instead of executing")
+	var o options
+	flag.StringVar(&o.backend, "backend", "pimnet", "baseline | ideal | ndpbridge | dimmlink | pimnet")
+	flag.StringVar(&o.pattern, "pattern", "allreduce", "collective pattern")
+	flag.Int64Var(&o.bytes, "bytes", 32<<10, "payload bytes per DPU")
+	flag.IntVar(&o.dpus, "dpus", 256, "DPU population (power-of-two shapes of the default hierarchy)")
+	flag.StringVar(&o.workload, "workload", "", "run a named workload instead (BFS, CC, GEMV, MLP, SpMV, EMB, NTT, Join)")
+	flag.BoolVar(&o.scaled, "scaled", true, "reduced workload inputs")
+	flag.BoolVar(&o.compare, "compare", false, "run all five backends")
+	flag.BoolVar(&o.plan, "plan", false, "dump the compiled PIMnet schedule instead of executing")
+	flag.StringVar(&o.faults, "faults", "", "fault spec to inject into the pimnet backend, e.g. fail-chip=1,corrupt=0.05")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for deterministic fault placement")
 	flag.Parse()
 
-	if *plan {
-		if err := dumpPlan(*pattern, *bytesPer, *dpus); err != nil {
+	if err := validate(o); err != nil {
+		fmt.Fprintln(os.Stderr, "pimnetsim:", err)
+		os.Exit(2)
+	}
+	if o.plan {
+		if err := dumpPlan(o.pattern, o.bytes, o.dpus); err != nil {
 			fmt.Fprintln(os.Stderr, "pimnetsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*backendName, *pattern, *bytesPer, *dpus, *workload, *scaled, *compare); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "pimnetsim:", err)
 		os.Exit(1)
 	}
 }
 
-func pick(bes []pimnet.Backend, name string) (pimnet.Backend, error) {
-	aliases := map[string]string{
-		"baseline": "Baseline", "ideal": "Software(Ideal)",
-		"ndpbridge": "NDPBridge", "dimmlink": "DIMM-Link", "pimnet": "PIMnet",
+// validate rejects inconsistent flag combinations upfront with one-line
+// errors, before any simulation state is built.
+func validate(o options) error {
+	if o.dpus < 1 {
+		return fmt.Errorf("-dpus must be >= 1, got %d", o.dpus)
 	}
-	want, ok := aliases[strings.ToLower(name)]
+	if o.bytes < 0 {
+		return fmt.Errorf("-bytes must be >= 0, got %d", o.bytes)
+	}
+	if _, ok := backendAliases[strings.ToLower(o.backend)]; !ok {
+		return fmt.Errorf("unknown backend %q (want baseline, ideal, ndpbridge, dimmlink, or pimnet)", o.backend)
+	}
+	if _, ok := patterns[strings.ToLower(o.pattern)]; !ok && o.workload == "" {
+		return fmt.Errorf("unknown pattern %q (want one of %s)", o.pattern, strings.Join(patternList(), ", "))
+	}
+	if o.workload != "" && !knownWorkload(o.workload) {
+		return fmt.Errorf("unknown workload %q (want a prefix of %s)", o.workload, strings.Join(workloadNames, ", "))
+	}
+	if o.plan && (o.compare || o.workload != "" || o.faults != "") {
+		return fmt.Errorf("-plan dumps a schedule and cannot be combined with -compare, -workload, or -faults")
+	}
+	if o.faults != "" {
+		if o.compare {
+			return fmt.Errorf("-faults applies only to the pimnet backend; it cannot be combined with -compare")
+		}
+		if strings.ToLower(o.backend) != "pimnet" {
+			return fmt.Errorf("-faults requires -backend pimnet, got %q", o.backend)
+		}
+		if _, err := pimnet.ParseFaultSpec(o.faults); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func patternList() []string {
+	return []string{"reducescatter", "allgather", "allreduce", "alltoall", "broadcast", "gather", "reduce"}
+}
+
+func knownWorkload(name string) bool {
+	for _, w := range workloadNames {
+		if strings.HasPrefix(strings.ToLower(w), strings.ToLower(name)) {
+			return true
+		}
+	}
+	return false
+}
+
+func pick(bes []pimnet.Backend, name string) (pimnet.Backend, error) {
+	want, ok := backendAliases[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("unknown backend %q", name)
 	}
@@ -73,34 +154,66 @@ func pick(bes []pimnet.Backend, name string) (pimnet.Backend, error) {
 	return nil, fmt.Errorf("backend %q unavailable", name)
 }
 
-func run(backendName, pattern string, bytesPer int64, dpus int, workload string, scaled, compare bool) error {
-	sys, err := pimnet.DefaultSystem().WithDPUs(dpus)
+func run(o options) error {
+	sys, err := pimnet.DefaultSystem().WithDPUs(o.dpus)
 	if err != nil {
 		return err
 	}
-	bes, err := pimnet.Backends(sys)
-	if err != nil {
-		return err
-	}
-	targets := bes
-	if !compare {
-		be, err := pick(bes, backendName)
+	var targets []pimnet.Backend
+	var faulty *core.PIMnet
+	if o.faults != "" {
+		spec, err := pimnet.ParseFaultSpec(o.faults)
 		if err != nil {
 			return err
 		}
-		targets = []pimnet.Backend{be}
+		spec.Seed = o.faultSeed
+		faulty, err = pimnet.NewFaultyPIMnet(sys, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fault model (seed %d): %v\n", o.faultSeed, faulty.FaultModel())
+		targets = []pimnet.Backend{faulty}
+	} else {
+		bes, err := pimnet.Backends(sys)
+		if err != nil {
+			return err
+		}
+		targets = bes
+		if !o.compare {
+			be, err := pick(bes, o.backend)
+			if err != nil {
+				return err
+			}
+			targets = []pimnet.Backend{be}
+		}
 	}
 
-	if workload != "" {
-		return runWorkload(sys, targets, workload, dpus, scaled)
+	if o.workload != "" {
+		err = runWorkload(sys, targets, o.workload, o.dpus, o.scaled)
+	} else {
+		err = runCollective(sys, targets, o)
 	}
-	pat, ok := patterns[strings.ToLower(pattern)]
+	if err != nil {
+		return err
+	}
+	if faulty != nil {
+		mode := "healthy"
+		if faulty.DegradedMode() {
+			mode = "degraded"
+		}
+		fmt.Printf("fault counters: %v, mode: %s\n", faulty.FaultCounters(), mode)
+	}
+	return nil
+}
+
+func runCollective(sys pimnet.System, targets []pimnet.Backend, o options) error {
+	pat, ok := patterns[strings.ToLower(o.pattern)]
 	if !ok {
-		return fmt.Errorf("unknown pattern %q", pattern)
+		return fmt.Errorf("unknown pattern %q", o.pattern)
 	}
 	req := pimnet.Request{Pattern: pat, Op: pimnet.Sum,
-		BytesPerNode: bytesPer, ElemSize: 4, Nodes: dpus}
-	tbl := report.New(fmt.Sprintf("%v, %s per DPU, %d DPUs", pat, report.Bytes(bytesPer), dpus),
+		BytesPerNode: o.bytes, ElemSize: 4, Nodes: o.dpus}
+	tbl := report.New(fmt.Sprintf("%v, %s per DPU, %d DPUs", pat, report.Bytes(o.bytes), o.dpus),
 		"backend", "latency", "breakdown")
 	for _, be := range targets {
 		res, err := be.Collective(req)

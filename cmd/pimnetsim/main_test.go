@@ -2,37 +2,105 @@ package main
 
 import "testing"
 
+func opts(mut func(*options)) options {
+	o := options{backend: "pimnet", pattern: "allreduce", bytes: 4096,
+		dpus: 64, scaled: true, faultSeed: 1}
+	if mut != nil {
+		mut(&o)
+	}
+	return o
+}
+
 func TestRunCollective(t *testing.T) {
-	if err := run("pimnet", "allreduce", 4096, 64, "", true, false); err != nil {
+	if err := run(opts(nil)); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("baseline", "alltoall", 4096, 256, "", true, true); err != nil {
+	if err := run(opts(func(o *options) {
+		o.backend = "baseline"
+		o.pattern = "alltoall"
+		o.dpus = 256
+		o.compare = true
+	})); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWorkload(t *testing.T) {
-	if err := run("pimnet", "", 0, 256, "MLP", true, false); err != nil {
+	if err := run(opts(func(o *options) { o.workload = "MLP"; o.dpus = 256 })); err != nil {
 		t.Fatal(err)
 	}
 	// Prefix match on workload names.
-	if err := run("pimnet", "", 0, 256, "gemv", true, false); err != nil {
+	if err := run(opts(func(o *options) { o.workload = "gemv"; o.dpus = 256 })); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nosuch", "allreduce", 4096, 64, "", true, false); err == nil {
+	if err := run(opts(func(o *options) { o.backend = "nosuch" })); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
-	if err := run("pimnet", "nosuch", 4096, 64, "", true, false); err == nil {
+	if err := run(opts(func(o *options) { o.pattern = "nosuch" })); err == nil {
 		t.Fatal("unknown pattern accepted")
 	}
-	if err := run("pimnet", "", 0, 256, "NoSuchWorkload", true, false); err == nil {
+	if err := run(opts(func(o *options) { o.workload = "NoSuchWorkload"; o.dpus = 256 })); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	if err := run("pimnet", "allreduce", 4096, 13, "", true, false); err == nil {
+	if err := run(opts(func(o *options) { o.dpus = 13 })); err == nil {
 		t.Fatal("unshapeable DPU count accepted")
+	}
+}
+
+// TestValidate covers the upfront flag-combination checks: every rejection
+// must be a one-line error before any simulation state is built.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		ok   bool
+	}{
+		{"defaults", nil, true},
+		{"workload", func(o *options) { o.workload = "BFS" }, true},
+		{"faults", func(o *options) { o.faults = "fail-chip=1" }, true},
+		{"plan", func(o *options) { o.plan = true }, true},
+		{"zero dpus", func(o *options) { o.dpus = 0 }, false},
+		{"negative bytes", func(o *options) { o.bytes = -1 }, false},
+		{"bad backend", func(o *options) { o.backend = "quantum" }, false},
+		{"bad pattern", func(o *options) { o.pattern = "scatterall" }, false},
+		{"bad workload", func(o *options) { o.workload = "Doom" }, false},
+		{"plan+compare", func(o *options) { o.plan = true; o.compare = true }, false},
+		{"plan+workload", func(o *options) { o.plan = true; o.workload = "CC" }, false},
+		{"plan+faults", func(o *options) { o.plan = true; o.faults = "degrade=1" }, false},
+		{"faults+compare", func(o *options) { o.faults = "degrade=1"; o.compare = true }, false},
+		{"faults+baseline", func(o *options) { o.faults = "degrade=1"; o.backend = "baseline" }, false},
+		{"malformed faults", func(o *options) { o.faults = "fail-chip" }, false},
+		{"unknown fault key", func(o *options) { o.faults = "explode=1" }, false},
+	}
+	for _, tc := range cases {
+		err := validate(opts(tc.mut))
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid flags accepted", tc.name)
+		}
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	// A hard chip-path failure must still complete (recompiled route).
+	if err := run(opts(func(o *options) {
+		o.dpus = 256
+		o.faults = "fail-chip=1"
+		o.faultSeed = 7
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// Transient corruption retries must also complete.
+	if err := run(opts(func(o *options) {
+		o.dpus = 256
+		o.faults = "corrupt=0.2"
+	})); err != nil {
+		t.Fatal(err)
 	}
 }
 

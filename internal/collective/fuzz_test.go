@@ -1,0 +1,34 @@
+package collective
+
+import "testing"
+
+// FuzzVerify throws arbitrary requests and topologies at the data-level
+// verify interpreter. Verify is on the fault-recovery path, where the request
+// comes from a recompiled (possibly buggy) plan, so it must never panic —
+// errors are fine, crashes are not. Run with `go test -fuzz=FuzzVerify
+// ./internal/collective/`.
+func FuzzVerify(f *testing.F) {
+	f.Add(int(AllReduce), int64(4096), 4, 8, 8, int64(1), 4, int(Sum), 0)
+	f.Add(int(ReduceScatter), int64(1024), 2, 2, 2, int64(7), 8, int(Min), 1)
+	f.Add(int(AllGather), int64(64), 1, 4, 4, int64(-3), 4, int(Max), 0)
+	f.Add(int(AllToAll), int64(1<<20), 4, 8, 8, int64(0), 4, int(Or), 3)
+	f.Add(int(Broadcast), int64(0), 1, 1, 1, int64(99), 0, int(Sum), -5)
+	f.Add(int(Gather), int64(-512), 16, 16, 16, int64(1<<40), 1, int(Sum), 1000)
+	f.Add(int(Reduce), int64(3), 3, 5, 7, int64(42), 3, int(Max), 2)
+	f.Add(999, int64(1<<62), 1<<20, 1<<20, 1<<20, int64(-1), -4, 999, -1)
+
+	f.Fuzz(func(t *testing.T, pat int, bytes int64, ranks, chips, banks int,
+		seed int64, elem, op, root int) {
+		req := Request{
+			Pattern:      Pattern(pat),
+			Op:           Op(op),
+			BytesPerNode: bytes,
+			ElemSize:     elem,
+			Root:         root,
+			Nodes:        ranks * chips * banks,
+		}
+		// Verify must return (nil or error) for any input, never panic and
+		// never allocate unboundedly.
+		_ = Verify(req, ranks, chips, banks, seed)
+	})
+}

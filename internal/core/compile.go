@@ -146,10 +146,8 @@ func appendReducePhases(phases []Phase, n *Network, D int64) []Phase {
 						bytes += chunkBytes(owned, c, collective.RSSendChunk(c, chip, s))
 					}
 					succ := collective.RingSuccessor(c, chip)
-					st.Transfers = append(st.Transfers,
-						Transfer{Link: n.ChipSendLink(rank, chip), Kind: KindCrossbarPort, Bytes: bytes},
-						Transfer{Link: n.ChipRecvLink(rank, succ), Kind: KindCrossbarPort, Bytes: bytes},
-					)
+					snd, rcv := n.chipPair(rank, chip, succ, bytes)
+					st.Transfers = append(st.Transfers, snd, rcv)
 					perNode := chunkBytes(chunkBytes(D, b, 0)+1, c, 0)
 					if perNode > maxRecvPerNode {
 						maxRecvPerNode = perNode
@@ -219,10 +217,8 @@ func appendGatherBackPhases(phases []Phase, n *Network, D int64) []Phase {
 						bytes += chunkBytes(owned, c, collective.AGSendChunk(c, chip, s))
 					}
 					succ := collective.RingSuccessor(c, chip)
-					st.Transfers = append(st.Transfers,
-						Transfer{Link: n.ChipSendLink(rank, chip), Kind: KindCrossbarPort, Bytes: bytes},
-						Transfer{Link: n.ChipRecvLink(rank, succ), Kind: KindCrossbarPort, Bytes: bytes},
-					)
+					snd, rcv := n.chipPair(rank, chip, succ, bytes)
+					st.Transfers = append(st.Transfers, snd, rcv)
 				}
 			}
 			ph.Steps = append(ph.Steps, st)
@@ -292,10 +288,8 @@ func allGatherPhases(n *Network, D int64) []Phase {
 				for chip := 0; chip < c; chip++ {
 					succ := collective.RingSuccessor(c, chip)
 					bytes := int64(b) * D
-					st.Transfers = append(st.Transfers,
-						Transfer{Link: n.ChipSendLink(rank, chip), Kind: KindCrossbarPort, Bytes: bytes},
-						Transfer{Link: n.ChipRecvLink(rank, succ), Kind: KindCrossbarPort, Bytes: bytes},
-					)
+					snd, rcv := n.chipPair(rank, chip, succ, bytes)
+					st.Transfers = append(st.Transfers, snd, rcv)
 				}
 			}
 			ph.Steps = append(ph.Steps, st)
@@ -377,10 +371,8 @@ func allToAllPhases(n *Network, D int64) []Phase {
 					for db := 0; db < b; db++ {
 						bytes += blk(int(pbase)+db) * int64(b)
 					}
-					st.Transfers = append(st.Transfers,
-						Transfer{Link: n.ChipSendLink(rank, chip), Kind: KindCrossbarPort, Bytes: bytes},
-						Transfer{Link: n.ChipRecvLink(rank, partner), Kind: KindCrossbarPort, Bytes: bytes},
-					)
+					snd, rcv := n.chipPair(rank, chip, partner, bytes)
+					st.Transfers = append(st.Transfers, snd, rcv)
 				}
 			}
 			ph.Steps = append(ph.Steps, st)
@@ -437,10 +429,8 @@ func broadcastPhases(n *Network, M int64) []Phase {
 		// Pipelined forward chain across the root rank's chips.
 		st := Step{}
 		for chip := 0; chip < c-1; chip++ {
-			st.Transfers = append(st.Transfers,
-				Transfer{Link: n.ChipSendLink(0, chip), Kind: KindCrossbarPort, Bytes: M},
-				Transfer{Link: n.ChipRecvLink(0, chip+1), Kind: KindCrossbarPort, Bytes: M},
-			)
+			snd, rcv := n.chipPair(0, chip, chip+1, M)
+			st.Transfers = append(st.Transfers, snd, rcv)
 		}
 		phases = append(phases, Phase{Name: "chip-forward", Tier: TierChip, Steps: []Step{st}})
 	}
@@ -502,10 +492,8 @@ func funnelPhases(n *Network, D int64, reduce bool) []Phase {
 	if c > 1 {
 		ph := Phase{Name: "chip-funnel", Tier: TierChip}
 		for src := 1; src < c; src++ {
-			st := Step{Transfers: []Transfer{
-				{Link: n.ChipSendLink(0, src), Kind: KindCrossbarPort, Bytes: int64(b) * D},
-				{Link: n.ChipRecvLink(0, 0), Kind: KindCrossbarPort, Bytes: int64(b) * D},
-			}}
+			snd, rcv := n.chipPair(0, src, 0, int64(b)*D)
+			st := Step{Transfers: []Transfer{snd, rcv}}
 			if reduce {
 				st.ReduceBytesPerNode = int64(b) * D
 			}

@@ -15,8 +15,35 @@ import (
 // pipelined reduction both finish. The network's link state is reset first,
 // so Execute is repeatable.
 func (n *Network) Execute(p *Plan) (backend.Result, error) {
+	res, _, _, err := n.executePhases(p, execOptions{})
+	return res, err
+}
+
+// execOptions configures the fault-aware execution path. The zero value
+// reproduces the healthy fast path bit-for-bit.
+type execOptions struct {
+	// bounds are per-phase abort deadlines, indexed like p.Phases: the
+	// compiled-bound timeout guard. A phase whose duration exceeds its
+	// bound is cut off at the bound instant. nil disables detection.
+	bounds []sim.Time
+	// sched, when non-nil, fires timed fault activations at every step
+	// release instant (faults land between lock-steps, never mid-transfer:
+	// the schedule is statically timed, so a link can only change state at
+	// a step boundary as far as the plan can observe).
+	sched *sim.Schedule
+	// stragglerScale > 1 stretches every DPU-side reduction by the slowest
+	// straggler's factor: the lock-step reduce is gated by the last DPU.
+	stragglerScale float64
+}
+
+// executePhases is the engine behind Execute. It additionally returns the
+// per-phase durations and the index of the first phase that overran its
+// bound (-1 when none did). On an abort the result covers the time actually
+// burned — completed phases plus the timed-out phase's full bound — charged
+// to each phase's own component; the caller reattributes it to Recovery.
+func (n *Network) executePhases(p *Plan, opt execOptions) (backend.Result, []sim.Time, int, error) {
 	if err := p.CheckContention(); err != nil {
-		return backend.Result{}, err
+		return backend.Result{}, nil, -1, err
 	}
 	n.Reset()
 	var bd metrics.Breakdown
@@ -35,24 +62,35 @@ func (n *Network) Execute(p *Plan) (backend.Result, error) {
 	now += sync
 	bd.Add(metrics.Sync, sync)
 
-	for _, ph := range p.Phases {
+	durs := make([]sim.Time, 0, len(p.Phases))
+	for pi, ph := range p.Phases {
 		phaseStart := now
 		for _, st := range ph.Steps {
 			stepStart := now
 			if ph.Pipelined {
 				stepStart = phaseStart
 			} else {
-				stepStart += sim.Time(n.stepOverheadPs)
+				stepStart = sim.AddSat(stepStart, sim.Time(n.stepOverheadPs))
+			}
+			if opt.sched != nil {
+				opt.sched.ApplyUpTo(stepStart)
 			}
 			end := stepStart
 			for _, tr := range st.Transfers {
-				_, done := tr.Link.Reserve(stepStart, tr.Bytes)
+				done := sim.MaxTime
+				if !tr.Dead {
+					_, done = tr.Link.Reserve(stepStart, tr.Bytes)
+				}
 				if done > end {
 					end = done
 				}
 			}
 			if st.ReduceBytesPerNode > 0 {
-				r := stepStart + n.reduceTime(st.ReduceBytesPerNode, p.Req.ElemSize)
+				rt := n.reduceTime(st.ReduceBytesPerNode, p.Req.ElemSize)
+				if opt.stragglerScale > 1 {
+					rt = sim.Time(math.Ceil(float64(rt) * opt.stragglerScale))
+				}
+				r := sim.AddSat(stepStart, rt)
 				if r > end {
 					end = r
 				}
@@ -62,9 +100,19 @@ func (n *Network) Execute(p *Plan) (backend.Result, error) {
 			}
 			now = end
 		}
+		if opt.bounds != nil && pi < len(opt.bounds) && now-phaseStart > opt.bounds[pi] {
+			// The watchdog fires at the compiled bound: the phase missed
+			// its statically known completion instant and is declared
+			// failed. The bound's worth of wall-clock is burned.
+			now = sim.AddSat(phaseStart, opt.bounds[pi])
+			durs = append(durs, opt.bounds[pi])
+			bd.Add(ph.Tier.Component(), opt.bounds[pi])
+			return backend.Result{Time: now, Breakdown: bd}, durs, pi, nil
+		}
+		durs = append(durs, now-phaseStart)
 		bd.Add(ph.Tier.Component(), now-phaseStart)
 	}
-	return backend.Result{Time: now, Breakdown: bd}, nil
+	return backend.Result{Time: now, Breakdown: bd}, durs, -1, nil
 }
 
 // memTime converts a DMA staging volume into time: sustained DMA bandwidth

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pimnet/internal/config"
+	"pimnet/internal/faults"
 	"pimnet/internal/sim"
 )
 
@@ -32,7 +33,22 @@ type Network struct {
 	// stepOverheadPs is an optional fixed guard charged at every lock-step
 	// boundary (ablation knob; see SetStepOverhead).
 	stepOverheadPs int64
+
+	// Fault state. deadPath records stuck crossbar pairings (the internal
+	// mux from one chip's ingress to another's egress is wedged); chipOrder,
+	// when non-nil, is the logical->physical chip remap the recompiler
+	// installed to exclude those pairings from the configured ring; ringPos
+	// reverse-indexes ring segments for route-around recompilation.
+	deadPath  map[chipPath]bool
+	chipOrder []int
+	ringPos   map[*sim.Link]ringLoc
 }
+
+// chipPath identifies one configured crossbar pairing within a rank.
+type chipPath struct{ rank, src, dst int }
+
+// ringLoc locates a ring segment in the hierarchy.
+type ringLoc struct{ rank, chip, seg int }
 
 // NewNetwork builds the PIMnet resource graph for the configured channel.
 func NewNetwork(sys config.System) (*Network, error) {
@@ -62,6 +78,14 @@ func NewNetwork(sys config.System) (*Network, error) {
 		}
 	}
 	n.rankBus = sim.NewLink("ddr-bus", sys.Net.RankBusBW, sys.Net.RankBusLat)
+	n.ringPos = make(map[*sim.Link]ringLoc, topo.Ranks*topo.Chips*topo.Banks)
+	for r := 0; r < topo.Ranks; r++ {
+		for c := 0; c < topo.Chips; c++ {
+			for b := 0; b < topo.Banks; b++ {
+				n.ringPos[n.ringHop[r][c][b]] = ringLoc{r, c, b}
+			}
+		}
+	}
 	return n, nil
 }
 
@@ -83,15 +107,44 @@ func (n *Network) Reset() {
 	n.rankBus.Reset()
 }
 
+// physChip maps a logical chip position to the physical chip occupying it.
+// The identity map until the recompiler installs a reordering to route
+// around stuck crossbar pairings.
+func (n *Network) physChip(chip int) int {
+	if n.chipOrder == nil {
+		return chip
+	}
+	return n.chipOrder[chip]
+}
+
 // RingLink returns the ring segment from bank b to its clockwise successor
 // within (rank, chip).
-func (n *Network) RingLink(rank, chip, bank int) *sim.Link { return n.ringHop[rank][chip][bank] }
+func (n *Network) RingLink(rank, chip, bank int) *sim.Link {
+	return n.ringHop[rank][n.physChip(chip)][bank]
+}
 
 // ChipSendLink returns the chip's DQ send channel into the crossbar.
-func (n *Network) ChipSendLink(rank, chip int) *sim.Link { return n.chipSend[rank][chip] }
+func (n *Network) ChipSendLink(rank, chip int) *sim.Link {
+	return n.chipSend[rank][n.physChip(chip)]
+}
 
 // ChipRecvLink returns the chip's DQ receive channel from the crossbar.
-func (n *Network) ChipRecvLink(rank, chip int) *sim.Link { return n.chipRecv[rank][chip] }
+func (n *Network) ChipRecvLink(rank, chip int) *sim.Link {
+	return n.chipRecv[rank][n.physChip(chip)]
+}
+
+// chipPair emits the send/receive transfer pair of one crossbar hop from
+// logical chip a to logical chip b within rank. When the crossbar pairing
+// between the mapped physical chips is stuck (a hard fault), both transfers
+// are marked Dead: the DQ channels themselves are healthy, but data routed
+// through the wedged internal mux never arrives, which the executor turns
+// into a detection timeout.
+func (n *Network) chipPair(rank, a, b int, bytes int64) (Transfer, Transfer) {
+	pa, pb := n.physChip(a), n.physChip(b)
+	dead := n.deadPath[chipPath{rank, pa, pb}]
+	return Transfer{Link: n.chipSend[rank][pa], Kind: KindCrossbarPort, Bytes: bytes, Dead: dead},
+		Transfer{Link: n.chipRecv[rank][pb], Kind: KindCrossbarPort, Bytes: bytes, Dead: dead}
+}
 
 // Bus returns the shared inter-rank DDR bus.
 func (n *Network) Bus() *sim.Link { return n.rankBus }
@@ -109,6 +162,124 @@ func (n *Network) SyncLatency() sim.Time {
 	default:
 		return n.Sys.Net.SyncBankLat
 	}
+}
+
+// linkAt resolves a fault site to the physical link it names.
+func (n *Network) linkAt(site faults.Site, rank, chip, index int) (*sim.Link, error) {
+	if rank < 0 || rank >= n.Topo.Ranks {
+		return nil, fmt.Errorf("core: fault rank %d out of range [0,%d)", rank, n.Topo.Ranks)
+	}
+	if site != faults.SiteBus && (chip < 0 || chip >= n.Topo.Chips) {
+		return nil, fmt.Errorf("core: fault chip %d out of range [0,%d)", chip, n.Topo.Chips)
+	}
+	switch site {
+	case faults.SiteRing:
+		if index < 0 || index >= n.Topo.Banks {
+			return nil, fmt.Errorf("core: fault ring segment %d out of range [0,%d)", index, n.Topo.Banks)
+		}
+		return n.ringHop[rank][chip][index], nil
+	case faults.SiteChipSend:
+		return n.chipSend[rank][chip], nil
+	case faults.SiteChipRecv:
+		return n.chipRecv[rank][chip], nil
+	case faults.SiteBus:
+		return n.rankBus, nil
+	default:
+		return nil, fmt.Errorf("core: fault site %v does not name a link", site)
+	}
+}
+
+// ApplyFault realizes one fault into the network. Straggler, corruption and
+// sync-drop faults carry no network state (the fault model itself drives
+// them at execution time) and are accepted as no-ops so a schedule can apply
+// a whole model uniformly.
+func (n *Network) ApplyFault(f faults.Fault) error {
+	switch f.Class {
+	case faults.LinkDegrade:
+		l, err := n.linkAt(f.Site, f.Rank, f.Chip, f.Index)
+		if err != nil {
+			return err
+		}
+		if f.Factor <= 0 || f.Factor > 1 {
+			return fmt.Errorf("core: degrade factor %v outside (0,1]", f.Factor)
+		}
+		l.Degrade(f.Factor)
+		return nil
+	case faults.LinkFail:
+		if f.Site == faults.SiteChipPath {
+			if f.Rank < 0 || f.Rank >= n.Topo.Ranks {
+				return fmt.Errorf("core: fault rank %d out of range [0,%d)", f.Rank, n.Topo.Ranks)
+			}
+			if f.Chip < 0 || f.Chip >= n.Topo.Chips || f.Index < 0 || f.Index >= n.Topo.Chips {
+				return fmt.Errorf("core: chip pair (%d,%d) out of range [0,%d)", f.Chip, f.Index, n.Topo.Chips)
+			}
+			if f.Chip == f.Index {
+				return fmt.Errorf("core: chip pair (%d,%d) is not a crossbar pairing", f.Chip, f.Index)
+			}
+			if n.deadPath == nil {
+				n.deadPath = make(map[chipPath]bool)
+			}
+			n.deadPath[chipPath{f.Rank, f.Chip, f.Index}] = true
+			return nil
+		}
+		l, err := n.linkAt(f.Site, f.Rank, f.Chip, f.Index)
+		if err != nil {
+			return err
+		}
+		l.Fail()
+		return nil
+	case faults.Straggler, faults.TransientCorrupt, faults.SyncDrop:
+		return nil
+	default:
+		return fmt.Errorf("core: unknown fault class %v", f.Class)
+	}
+}
+
+// ClearFaults repairs every link, forgets stuck crossbar pairings, and
+// drops any recompiled chip ordering, restoring the pristine topology.
+func (n *Network) ClearFaults() {
+	for _, rank := range n.ringHop {
+		for _, chip := range rank {
+			for _, l := range chip {
+				l.Restore()
+			}
+		}
+	}
+	for r := range n.chipSend {
+		for c := range n.chipSend[r] {
+			n.chipSend[r][c].Restore()
+			n.chipRecv[r][c].Restore()
+		}
+	}
+	n.rankBus.Restore()
+	n.deadPath = nil
+	n.chipOrder = nil
+}
+
+// hasHardFaults reports whether any resource is hard-failed (as opposed to
+// merely degraded): a failed link or a stuck crossbar pairing. Hard faults
+// require recompilation; soft faults only slow the existing plan down.
+func (n *Network) hasHardFaults() bool {
+	if len(n.deadPath) > 0 {
+		return true
+	}
+	for _, rank := range n.ringHop {
+		for _, chip := range rank {
+			for _, l := range chip {
+				if l.Failed() {
+					return true
+				}
+			}
+		}
+	}
+	for r := range n.chipSend {
+		for c := range n.chipSend[r] {
+			if n.chipSend[r][c].Failed() || n.chipRecv[r][c].Failed() {
+				return true
+			}
+		}
+	}
+	return n.rankBus.Failed()
 }
 
 // ScaleBankBandwidth rewrites every ring segment for a new per-channel

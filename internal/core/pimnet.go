@@ -13,6 +13,9 @@ import (
 // contention-free, and execute it on the three network tiers.
 type PIMnet struct {
 	net *Network
+	// ft is non-nil once EnableFaults has armed a fault model; it carries
+	// the recovery ladder's state (see faulttol.go).
+	ft *ftState
 }
 
 var _ backend.Backend = (*PIMnet)(nil)
@@ -33,8 +36,13 @@ func (p *PIMnet) Name() string { return "PIMnet" }
 // (Fig. 14) and diagnostics.
 func (p *PIMnet) Network() *Network { return p.net }
 
-// Collective implements backend.Backend.
+// Collective implements backend.Backend. With a fault model armed the
+// request runs under the detection/retry/recompilation ladder; otherwise it
+// takes the healthy fast path unchanged.
 func (p *PIMnet) Collective(req collective.Request) (backend.Result, error) {
+	if p.ft != nil {
+		return p.faultCollective(req)
+	}
 	plan, err := PlanFor(p.net, req)
 	if err != nil {
 		return backend.Result{}, fmt.Errorf("pimnet: %w", err)

@@ -66,6 +66,12 @@ type Transfer struct {
 	Link  *sim.Link
 	Kind  Kind
 	Bytes int64
+	// Dead marks a transfer whose compiled route traverses a hard-failed
+	// resource (a stuck crossbar pairing): the data never arrives, and the
+	// executor models it as a transfer that never completes so the phase
+	// timeout guard can catch it. Dead transfers still occupy their port in
+	// the contention check — the hardware does drive the channel.
+	Dead bool
 }
 
 // Step is a synchronized communication step: all transfers start together

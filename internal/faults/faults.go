@@ -1,0 +1,457 @@
+// Package faults defines a deterministic, seed-driven fault model for the
+// PIMnet simulator. PIMnet's central bet — collective traffic is so regular
+// that it can be compiled into a bufferless static schedule — is exactly the
+// property a single degraded ring segment, stuck crossbar pairing, or
+// straggler DPU silently invalidates. This package describes those faults;
+// the sim layer carries their state (Link fault flags, timed activation
+// schedules) and internal/core detects and recovers from them.
+//
+// Everything here is reproducible: a Spec plus a seed always realizes the
+// same Model, and per-attempt decisions (transient corruption, sync-tree
+// drops) are pure hashes of (seed, invocation, attempt), never shared RNG
+// state, so two runs of the same workload are bit-identical.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pimnet/internal/sim"
+)
+
+// Class enumerates the modelled fault classes.
+type Class int
+
+const (
+	// LinkDegrade multiplies one link's bandwidth by Factor in (0,1):
+	// the wire still works, every compiled timing offset is now wrong.
+	LinkDegrade Class = iota
+	// LinkFail is a hard failure: transfers on the resource never complete.
+	// On a ring segment the surviving segments can route around it; on a
+	// crossbar pairing the compiler reconfigures the inter-chip ring.
+	LinkFail
+	// Straggler slows one DPU's compute by Factor (>= 1). Lock-step
+	// schedules are gated by the slowest participant, so one straggler
+	// stretches every reducing step it joins.
+	Straggler
+	// TransientCorrupt flips payload bits with per-attempt probability
+	// Prob; detected by the receiver-side integrity check and recovered by
+	// bounded retry with exponential backoff.
+	TransientCorrupt
+	// SyncDrop loses the READY/START tree launch with per-attempt
+	// probability Prob; the root's watchdog re-launches after a timeout.
+	SyncDrop
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case LinkDegrade:
+		return "link-degrade"
+	case LinkFail:
+		return "link-fail"
+	case Straggler:
+		return "straggler"
+	case TransientCorrupt:
+		return "transient-corrupt"
+	case SyncDrop:
+		return "sync-drop"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Site locates a link fault within the network hierarchy.
+type Site int
+
+const (
+	// SiteNone marks faults without a network resource (straggler,
+	// transient corruption, sync drop).
+	SiteNone Site = iota
+	// SiteRing is the inter-bank ring segment Index of chip (Rank, Chip).
+	SiteRing
+	// SiteChipSend is chip (Rank, Chip)'s DQ send channel into the crossbar.
+	SiteChipSend
+	// SiteChipRecv is chip (Rank, Chip)'s DQ receive channel.
+	SiteChipRecv
+	// SiteChipPath is the crossbar's configured pairing from chip Chip to
+	// chip Index within rank Rank — a stuck internal mux. The DQ channels
+	// themselves stay usable, so the compiler can exclude the pairing by
+	// reconfiguring the ring order.
+	SiteChipPath
+	// SiteBus is the shared inter-rank DDR bus.
+	SiteBus
+)
+
+// String returns the site name.
+func (s Site) String() string {
+	switch s {
+	case SiteNone:
+		return "-"
+	case SiteRing:
+		return "ring"
+	case SiteChipSend:
+		return "chip-send"
+	case SiteChipRecv:
+		return "chip-recv"
+	case SiteChipPath:
+		return "chip-path"
+	case SiteBus:
+		return "bus"
+	default:
+		return fmt.Sprintf("Site(%d)", int(s))
+	}
+}
+
+// Fault is one realized fault instance.
+type Fault struct {
+	Class Class
+	Site  Site
+	// Rank/Chip/Index locate link faults: ring segments use (Rank, Chip,
+	// Index=segment); chip channels use (Rank, Chip); chip pairings use
+	// (Rank, Chip=src, Index=dst); the bus uses none.
+	Rank, Chip, Index int
+	// Node is the flat DPU id of a straggler.
+	Node int
+	// Factor is the bandwidth multiplier in (0,1) for LinkDegrade, or the
+	// compute slowdown (>= 1) for Straggler.
+	Factor float64
+	// Prob is the per-attempt probability for TransientCorrupt / SyncDrop.
+	Prob float64
+	// At is the simulated instant the fault activates; zero means active
+	// from the start of every execution.
+	At sim.Time
+}
+
+// String renders the fault compactly.
+func (f Fault) String() string {
+	switch f.Class {
+	case LinkDegrade:
+		return fmt.Sprintf("%v %v[r%d,c%d,i%d] x%.2f", f.Class, f.Site, f.Rank, f.Chip, f.Index, f.Factor)
+	case LinkFail:
+		return fmt.Sprintf("%v %v[r%d,c%d,i%d]", f.Class, f.Site, f.Rank, f.Chip, f.Index)
+	case Straggler:
+		return fmt.Sprintf("%v node%d x%.2f", f.Class, f.Node, f.Factor)
+	default:
+		return fmt.Sprintf("%v p=%.3f", f.Class, f.Prob)
+	}
+}
+
+// Spec configures the fault generator. The zero value injects nothing.
+type Spec struct {
+	Seed int64
+
+	DegradedLinks int     // randomly chosen links running slow
+	DegradeFactor float64 // their bandwidth multiplier; default 0.25
+
+	FailedRings     int // hard-failed inter-bank ring segments
+	FailedChipPaths int // stuck crossbar pairings (src chip -> dst chip)
+
+	Stragglers      int     // DPUs with degraded compute
+	StragglerFactor float64 // their slowdown; default 4
+
+	CorruptProb  float64 // per-attempt transient payload corruption
+	SyncDropProb float64 // per-attempt READY/START launch loss
+}
+
+// Empty reports whether the spec injects no faults at all.
+func (s Spec) Empty() bool {
+	return s.DegradedLinks == 0 && s.FailedRings == 0 && s.FailedChipPaths == 0 &&
+		s.Stragglers == 0 && s.CorruptProb == 0 && s.SyncDropProb == 0
+}
+
+// Validate reports malformed specs.
+func (s Spec) Validate() error {
+	switch {
+	case s.DegradedLinks < 0 || s.FailedRings < 0 || s.FailedChipPaths < 0 || s.Stragglers < 0:
+		return fmt.Errorf("faults: negative fault count in %+v", s)
+	// Zero factors select the defaults.
+	case s.DegradeFactor != 0 && (s.DegradeFactor < 0 || s.DegradeFactor >= 1):
+		return fmt.Errorf("faults: degrade factor %v outside (0,1)", s.DegradeFactor)
+	case s.StragglerFactor != 0 && s.StragglerFactor < 1:
+		return fmt.Errorf("faults: straggler factor %v < 1", s.StragglerFactor)
+	case s.CorruptProb < 0 || s.CorruptProb > 1:
+		return fmt.Errorf("faults: corrupt probability %v outside [0,1]", s.CorruptProb)
+	case s.SyncDropProb < 0 || s.SyncDropProb > 1:
+		return fmt.Errorf("faults: sync-drop probability %v outside [0,1]", s.SyncDropProb)
+	}
+	return nil
+}
+
+// ParseSpec parses the CLI fault syntax: a comma-separated key=value list,
+// e.g. "fail-chip=1,degrade=2,degrade-factor=0.25,straggler=1,corrupt=0.05".
+// Keys: degrade, degrade-factor, fail-ring, fail-chip, straggler,
+// straggler-factor, corrupt, syncdrop. An empty string is the empty spec.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return spec, fmt.Errorf("faults: malformed term %q (want key=value)", kv)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		asInt := func() (int, error) { return strconv.Atoi(v) }
+		asFloat := func() (float64, error) { return strconv.ParseFloat(v, 64) }
+		var err error
+		switch k {
+		case "degrade":
+			spec.DegradedLinks, err = asInt()
+		case "degrade-factor":
+			spec.DegradeFactor, err = asFloat()
+		case "fail-ring":
+			spec.FailedRings, err = asInt()
+		case "fail-chip":
+			spec.FailedChipPaths, err = asInt()
+		case "straggler":
+			spec.Stragglers, err = asInt()
+		case "straggler-factor":
+			spec.StragglerFactor, err = asFloat()
+		case "corrupt":
+			spec.CorruptProb, err = asFloat()
+		case "syncdrop":
+			spec.SyncDropProb, err = asFloat()
+		default:
+			return spec, fmt.Errorf("faults: unknown fault key %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("faults: bad value for %q: %v", k, err)
+		}
+	}
+	return spec, spec.Validate()
+}
+
+// Model is a realized fault set for one channel topology, plus the
+// deterministic per-attempt decision functions the recovery ladder consults.
+type Model struct {
+	Spec   Spec
+	Faults []Fault
+
+	// CorruptFn / SyncFn override the hash-based per-attempt decisions;
+	// tests use them to force specific retry trajectories. Nil selects the
+	// seeded default.
+	CorruptFn func(invocation, attempt int) bool
+	SyncFn    func(invocation, attempt int) bool
+
+	ranks, chips, banks int
+}
+
+// New realizes a spec against a (ranks x chips x banks) channel. The same
+// spec and topology always produce the same fault set.
+func New(spec Spec, ranks, chips, banks int) (*Model, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if ranks < 1 || chips < 1 || banks < 1 {
+		return nil, fmt.Errorf("faults: invalid topology %dx%dx%d", ranks, chips, banks)
+	}
+	m := &Model{Spec: spec, ranks: ranks, chips: chips, banks: banks}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	degrade := spec.DegradeFactor
+	if degrade == 0 {
+		degrade = 0.25
+	}
+	slow := spec.StragglerFactor
+	if slow == 0 {
+		slow = 4
+	}
+
+	// Degraded links: sampled without replacement from every link resource.
+	type linkSite struct {
+		site              Site
+		rank, chip, index int
+	}
+	var sites []linkSite
+	for r := 0; r < ranks; r++ {
+		for c := 0; c < chips; c++ {
+			for b := 0; b < banks; b++ {
+				sites = append(sites, linkSite{SiteRing, r, c, b})
+			}
+			sites = append(sites, linkSite{SiteChipSend, r, c, 0}, linkSite{SiteChipRecv, r, c, 0})
+		}
+	}
+	sites = append(sites, linkSite{SiteBus, 0, 0, 0})
+	rng.Shuffle(len(sites), func(i, j int) { sites[i], sites[j] = sites[j], sites[i] })
+	n := spec.DegradedLinks
+	if n > len(sites) {
+		n = len(sites)
+	}
+	for _, s := range sites[:n] {
+		m.Faults = append(m.Faults, Fault{
+			Class: LinkDegrade, Site: s.site,
+			Rank: s.rank, Chip: s.chip, Index: s.index, Factor: degrade,
+		})
+	}
+
+	// Hard ring-segment failures: at most one per chip ring, so the
+	// surviving segments always leave the ring connected (two failures in
+	// one ring would strand the banks between them).
+	if spec.FailedRings > 0 {
+		if banks < 2 {
+			return nil, fmt.Errorf("faults: ring failure needs >= 2 banks, have %d", banks)
+		}
+		type ring struct{ rank, chip int }
+		var rings []ring
+		for r := 0; r < ranks; r++ {
+			for c := 0; c < chips; c++ {
+				rings = append(rings, ring{r, c})
+			}
+		}
+		rng.Shuffle(len(rings), func(i, j int) { rings[i], rings[j] = rings[j], rings[i] })
+		k := spec.FailedRings
+		if k > len(rings) {
+			k = len(rings)
+		}
+		for _, rg := range rings[:k] {
+			m.Faults = append(m.Faults, Fault{
+				Class: LinkFail, Site: SiteRing,
+				Rank: rg.rank, Chip: rg.chip, Index: rng.Intn(banks),
+			})
+		}
+	}
+
+	// Stuck crossbar pairings: distinct ordered (src, dst) pairs.
+	if spec.FailedChipPaths > 0 {
+		if chips < 2 {
+			return nil, fmt.Errorf("faults: chip-path failure needs >= 2 chips, have %d", chips)
+		}
+		type pair struct{ rank, src, dst int }
+		var pairs []pair
+		for r := 0; r < ranks; r++ {
+			for a := 0; a < chips; a++ {
+				for b := 0; b < chips; b++ {
+					if a != b {
+						pairs = append(pairs, pair{r, a, b})
+					}
+				}
+			}
+		}
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		k := spec.FailedChipPaths
+		if k > len(pairs) {
+			k = len(pairs)
+		}
+		for _, p := range pairs[:k] {
+			m.Faults = append(m.Faults, Fault{
+				Class: LinkFail, Site: SiteChipPath,
+				Rank: p.rank, Chip: p.src, Index: p.dst,
+			})
+		}
+	}
+
+	// Stragglers: distinct DPUs.
+	if spec.Stragglers > 0 {
+		nodes := rng.Perm(ranks * chips * banks)
+		k := spec.Stragglers
+		if k > len(nodes) {
+			k = len(nodes)
+		}
+		for _, id := range nodes[:k] {
+			m.Faults = append(m.Faults, Fault{Class: Straggler, Node: id, Factor: slow})
+		}
+	}
+
+	if spec.CorruptProb > 0 {
+		m.Faults = append(m.Faults, Fault{Class: TransientCorrupt, Prob: spec.CorruptProb})
+	}
+	if spec.SyncDropProb > 0 {
+		m.Faults = append(m.Faults, Fault{Class: SyncDrop, Prob: spec.SyncDropProb})
+	}
+	return m, nil
+}
+
+// Empty reports whether the model carries no faults.
+func (m *Model) Empty() bool { return m == nil || len(m.Faults) == 0 }
+
+// Count returns the number of faults of the given class.
+func (m *Model) Count(c Class) int {
+	n := 0
+	for _, f := range m.Faults {
+		if f.Class == c {
+			n++
+		}
+	}
+	return n
+}
+
+// StragglerScale returns the compute slowdown of the slowest straggler (1
+// when none). Collective steps are lock-step, so the slowest participant
+// gates every reducing step — one factor captures the whole population.
+func (m *Model) StragglerScale() float64 {
+	scale := 1.0
+	for _, f := range m.Faults {
+		if f.Class == Straggler && f.Factor > scale {
+			scale = f.Factor
+		}
+	}
+	return scale
+}
+
+// CorruptAttempt reports whether the payload of the given collective
+// invocation is corrupted on the given delivery attempt. The decision is a
+// pure hash of (seed, invocation, attempt) — stable across runs, independent
+// between attempts, so retries genuinely re-roll.
+func (m *Model) CorruptAttempt(invocation, attempt int) bool {
+	if m.CorruptFn != nil {
+		return m.CorruptFn(invocation, attempt)
+	}
+	p := m.Spec.CorruptProb
+	return p > 0 && hashUnit(m.Spec.Seed, 0xC0, invocation, attempt) < p
+}
+
+// SyncDropAttempt reports whether the READY/START launch of the given
+// invocation is lost on the given launch attempt.
+func (m *Model) SyncDropAttempt(invocation, attempt int) bool {
+	if m.SyncFn != nil {
+		return m.SyncFn(invocation, attempt)
+	}
+	p := m.Spec.SyncDropProb
+	return p > 0 && hashUnit(m.Spec.Seed, 0x5D, invocation, attempt) < p
+}
+
+// String summarizes the fault set grouped by class.
+func (m *Model) String() string {
+	if m.Empty() {
+		return "faults{}"
+	}
+	byClass := map[Class]int{}
+	for _, f := range m.Faults {
+		byClass[f.Class]++
+	}
+	classes := make([]Class, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%v:%d", c, byClass[c]))
+	}
+	return "faults{" + strings.Join(parts, " ") + "}"
+}
+
+// hashUnit maps (seed, salt, a, b) to a uniform float64 in [0, 1) with a
+// splitmix64 finalizer. No state is shared between calls.
+func hashUnit(seed int64, salt uint64, a, b int) float64 {
+	x := uint64(seed) ^ (salt * 0x9E3779B97F4A7C15)
+	x = mix64(x + uint64(a)*0xBF58476D1CE4E5B9)
+	x = mix64(x + uint64(b)*0x94D049BB133111EB)
+	return float64(x>>11) / float64(1<<53)
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,238 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("fail-chip=1, degrade=2, degrade-factor=0.5, straggler=3, straggler-factor=8, corrupt=0.05, syncdrop=0.01, fail-ring=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{FailedChipPaths: 1, DegradedLinks: 2, DegradeFactor: 0.5,
+		Stragglers: 3, StragglerFactor: 8, CorruptProb: 0.05, SyncDropProb: 0.01,
+		FailedRings: 4}
+	if spec != want {
+		t.Fatalf("parsed %+v, want %+v", spec, want)
+	}
+
+	if spec, err := ParseSpec(""); err != nil || !spec.Empty() {
+		t.Fatalf("empty string: %+v, %v", spec, err)
+	}
+
+	bad := []string{
+		"fail-chip",          // no value
+		"explode=1",          // unknown key
+		"degrade=two",        // unparsable int
+		"corrupt=1.5",        // probability out of range
+		"degrade-factor=1.0", // factor must be < 1
+		"straggler-factor=0.5",
+		"fail-ring=-1",
+		"syncdrop=-0.1",
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	spec := Spec{Seed: 42, DegradedLinks: 3, FailedRings: 2, FailedChipPaths: 2,
+		Stragglers: 2, CorruptProb: 0.1, SyncDropProb: 0.05}
+	a, err := New(spec, 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(spec, 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Fatalf("same seed realized different faults:\n%v\n%v", a.Faults, b.Faults)
+	}
+	spec.Seed = 43
+	c, err := New(spec, 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Faults, c.Faults) {
+		t.Fatal("different seeds realized identical fault placements")
+	}
+}
+
+func TestNewCounts(t *testing.T) {
+	spec := Spec{Seed: 7, DegradedLinks: 5, FailedRings: 3, FailedChipPaths: 4,
+		Stragglers: 6, CorruptProb: 0.2, SyncDropProb: 0.1}
+	m, err := New(spec, 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		class Class
+		want  int
+	}{
+		{LinkDegrade, 5}, {LinkFail, 7}, {Straggler, 6},
+		{TransientCorrupt, 1}, {SyncDrop, 1},
+	} {
+		if got := m.Count(tc.class); got != tc.want {
+			t.Errorf("Count(%v) = %d, want %d", tc.class, got, tc.want)
+		}
+	}
+
+	// Ring failures: at most one per (rank, chip) ring, so the surviving
+	// segments keep every ring connected.
+	rings := make(map[[2]int]int)
+	for _, f := range m.Faults {
+		if f.Class == LinkFail && f.Site == SiteRing {
+			rings[[2]int{f.Rank, f.Chip}]++
+			if f.Index < 0 || f.Index >= 8 {
+				t.Errorf("ring fault segment %d out of range", f.Index)
+			}
+		}
+	}
+	for r, n := range rings {
+		if n > 1 {
+			t.Errorf("ring %v has %d failures; recovery requires at most 1", r, n)
+		}
+	}
+
+	// Chip-path failures: distinct ordered pairs, src != dst.
+	pairs := make(map[[3]int]bool)
+	for _, f := range m.Faults {
+		if f.Class == LinkFail && f.Site == SiteChipPath {
+			if f.Chip == f.Index {
+				t.Errorf("chip-path fault %v is a self pairing", f)
+			}
+			key := [3]int{f.Rank, f.Chip, f.Index}
+			if pairs[key] {
+				t.Errorf("duplicate chip-path fault %v", f)
+			}
+			pairs[key] = true
+		}
+	}
+
+	// Stragglers: distinct nodes within the population.
+	nodes := make(map[int]bool)
+	for _, f := range m.Faults {
+		if f.Class == Straggler {
+			if f.Node < 0 || f.Node >= 256 {
+				t.Errorf("straggler node %d outside population", f.Node)
+			}
+			if nodes[f.Node] {
+				t.Errorf("duplicate straggler node %d", f.Node)
+			}
+			nodes[f.Node] = true
+		}
+	}
+}
+
+func TestNewClampsOversizedCounts(t *testing.T) {
+	// Asking for more faults than resources must clamp, not error or loop.
+	m, err := New(Spec{Seed: 1, DegradedLinks: 1 << 20, Stragglers: 1 << 20}, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 rank x 2 chips: 2x2 ring segments + 2x2 chip channels + 1 bus = 9.
+	if got := m.Count(LinkDegrade); got != 9 {
+		t.Fatalf("degraded links clamped to %d, want 9", got)
+	}
+	if got := m.Count(Straggler); got != 4 {
+		t.Fatalf("stragglers clamped to %d, want 4", got)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Spec{Seed: 1}, 0, 8, 8); err == nil {
+		t.Fatal("zero-rank topology accepted")
+	}
+	if _, err := New(Spec{Seed: 1, FailedRings: 1}, 1, 1, 1); err == nil {
+		t.Fatal("ring failure accepted with a single bank")
+	}
+	if _, err := New(Spec{Seed: 1, FailedChipPaths: 1}, 1, 1, 8); err == nil {
+		t.Fatal("chip-path failure accepted with a single chip")
+	}
+	if _, err := New(Spec{Seed: 1, CorruptProb: 2}, 4, 8, 8); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestStragglerScale(t *testing.T) {
+	var m Model
+	if got := m.StragglerScale(); got != 1 {
+		t.Fatalf("empty model scale %v, want 1", got)
+	}
+	m.Faults = []Fault{
+		{Class: Straggler, Node: 1, Factor: 2},
+		{Class: Straggler, Node: 2, Factor: 8},
+		{Class: LinkDegrade, Factor: 0.5},
+	}
+	if got := m.StragglerScale(); got != 8 {
+		t.Fatalf("scale %v, want 8 (slowest straggler gates the fleet)", got)
+	}
+}
+
+func TestAttemptDecisionsDeterministic(t *testing.T) {
+	m := &Model{Spec: Spec{Seed: 99, CorruptProb: 0.5, SyncDropProb: 0.5}}
+	for inv := 0; inv < 8; inv++ {
+		for att := 0; att < 8; att++ {
+			if m.CorruptAttempt(inv, att) != m.CorruptAttempt(inv, att) {
+				t.Fatalf("CorruptAttempt(%d,%d) not stable", inv, att)
+			}
+			if m.SyncDropAttempt(inv, att) != m.SyncDropAttempt(inv, att) {
+				t.Fatalf("SyncDropAttempt(%d,%d) not stable", inv, att)
+			}
+		}
+	}
+
+	// Frequency sanity: over many attempts the hash should land near the
+	// configured probability and must not be constant.
+	hits := 0
+	const trials = 4096
+	for i := 0; i < trials; i++ {
+		if m.CorruptAttempt(i, 0) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / trials; frac < 0.4 || frac > 0.6 {
+		t.Fatalf("corrupt frequency %.3f far from configured 0.5", frac)
+	}
+
+	// Probability zero never fires.
+	z := &Model{Spec: Spec{Seed: 99}}
+	for i := 0; i < 64; i++ {
+		if z.CorruptAttempt(i, 0) || z.SyncDropAttempt(i, 0) {
+			t.Fatal("zero-probability model produced a fault decision")
+		}
+	}
+
+	// Overrides take precedence over the hash.
+	m.CorruptFn = func(inv, att int) bool { return true }
+	if !m.CorruptAttempt(0, 0) {
+		t.Fatal("CorruptFn override ignored")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	m, err := New(Spec{Seed: 3, DegradedLinks: 1, FailedChipPaths: 1, CorruptProb: 0.1}, 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.String()
+	for _, want := range []string{"link-degrade:1", "link-fail:1", "transient-corrupt:1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("model string %q missing %q", s, want)
+		}
+	}
+	var empty *Model
+	if !empty.Empty() {
+		t.Fatal("nil model not Empty")
+	}
+	for _, f := range m.Faults {
+		if f.String() == "" {
+			t.Errorf("fault %+v renders empty", f)
+		}
+	}
+}

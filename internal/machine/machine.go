@@ -12,6 +12,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 
 	"pimnet/internal/backend"
 	"pimnet/internal/collective"
@@ -58,12 +59,31 @@ func (w Workload) TotalCollectiveBytes() int64 {
 	return total
 }
 
-// Report is the outcome of one workload execution.
+// Report is the outcome of one workload execution. Report is comparable
+// with ==; the fault-determinism regression test relies on two identically
+// seeded runs producing identical values.
 type Report struct {
 	Workload  string
 	Backend   string
 	Total     sim.Time
 	Breakdown metrics.Breakdown
+	// Faults holds the recovery-ladder counters this run incurred (zero
+	// unless the backend carries a fault model).
+	Faults metrics.FaultCounters
+	// Degraded reports whether any collective completed in degraded mode:
+	// on a recompiled route, an accepted slow network, or the host-relay
+	// fallback.
+	Degraded bool
+}
+
+// FaultAware is implemented by backends that carry a fault model (PIMnet
+// after EnableFaults). The machine surfaces their counters in the Report and
+// applies the straggler compute slowdown to workload kernels — a lock-step
+// fleet computes at the slowest DPU's pace.
+type FaultAware interface {
+	FaultCounters() metrics.FaultCounters
+	DegradedMode() bool
+	ComputeSlowdown() float64
 }
 
 // CommFraction returns the share of total time spent communicating.
@@ -103,6 +123,11 @@ func (m *Machine) Backend() backend.Backend { return m.be }
 // Run executes the workload on one memory channel and returns the report.
 func (m *Machine) Run(wl Workload) (Report, error) {
 	rep := Report{Workload: wl.Name, Backend: m.be.Name()}
+	fa, _ := m.be.(FaultAware)
+	var before metrics.FaultCounters
+	if fa != nil {
+		before = fa.FaultCounters()
+	}
 	for _, ph := range wl.Phases {
 		iters := ph.Repeat
 		if iters < 1 {
@@ -112,6 +137,11 @@ func (m *Machine) Run(wl Workload) (Report, error) {
 		ct := m.model.Time(ph.Kernel)
 		if ph.MRAMRandom > 0 {
 			ct += sim.Time(ph.MRAMRandom) * m.sys.DPU.DMALatency
+		}
+		if fa != nil {
+			if scale := fa.ComputeSlowdown(); scale > 1 {
+				ct = sim.Time(math.Ceil(float64(ct) * scale))
+			}
 		}
 		once.Add(metrics.Compute, ct)
 		if ph.MRAMBytes > 0 {
@@ -128,6 +158,10 @@ func (m *Machine) Run(wl Workload) (Report, error) {
 		rep.Breakdown.Merge(once)
 	}
 	rep.Total = rep.Breakdown.Total()
+	if fa != nil {
+		rep.Faults = fa.FaultCounters().Sub(before)
+		rep.Degraded = fa.DegradedMode()
+	}
 	return rep, nil
 }
 

@@ -29,12 +29,13 @@ const (
 	Launch                       // driver and kernel-launch overhead
 	Sync                         // READY/START synchronization
 	Mem                          // MRAM<->WRAM DMA staging (WRAM overflow)
+	Recovery                     // fault handling: timeouts, retries, recompilation
 	numComponents
 )
 
 var componentNames = [numComponents]string{
 	"compute", "inter-bank", "inter-chip", "inter-rank",
-	"host-xfer", "host-compute", "launch", "sync", "mem",
+	"host-xfer", "host-compute", "launch", "sync", "mem", "recovery",
 }
 
 // String returns the component's short name.
@@ -57,7 +58,7 @@ func Components() []Component {
 // CommComponents lists the components that count as communication time in
 // the paper's figures.
 func CommComponents() []Component {
-	return []Component{InterBank, InterChip, InterRank, HostXfer, HostCompute, Launch, Sync, Mem}
+	return []Component{InterBank, InterChip, InterRank, HostXfer, HostCompute, Launch, Sync, Mem, Recovery}
 }
 
 // Breakdown accumulates time per component. The zero value is ready to use.

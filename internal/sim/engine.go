@@ -42,6 +42,7 @@ type Engine struct {
 	seq       uint64
 	processed uint64
 	stopped   bool
+	faults    *Schedule
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -72,6 +73,11 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// AttachFaults binds a fault schedule to the engine: pending activations
+// with At <= now fire just before each event runs, so timed faults take
+// effect at deterministic points of the event order. Pass nil to detach.
+func (e *Engine) AttachFaults(s *Schedule) { e.faults = s }
+
 // Step runs the earliest pending event, advancing the clock. It reports
 // whether an event was run.
 func (e *Engine) Step() bool {
@@ -80,6 +86,9 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.heap).(event)
 	e.now = ev.at
+	if e.faults != nil {
+		e.faults.ApplyUpTo(e.now)
+	}
 	e.processed++
 	ev.fn()
 	return true

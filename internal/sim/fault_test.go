@@ -1,0 +1,230 @@
+package sim
+
+import "testing"
+
+func TestLinkFaultState(t *testing.T) {
+	l := NewLink("wire", 1e9, 10*Nanosecond)
+	if l.Faulty() || l.DegradeFactor() != 1 || l.EffectiveBandwidth() != 1e9 {
+		t.Fatal("new link not healthy")
+	}
+	l.Degrade(0.5)
+	if !l.Faulty() || l.EffectiveBandwidth() != 0.5e9 {
+		t.Fatalf("degrade 0.5: factor %v, effective %v", l.DegradeFactor(), l.EffectiveBandwidth())
+	}
+	// Degraded transfers take proportionally longer.
+	_, slow := l.Reserve(0, 1000)
+	l.Reset()
+	l.Restore()
+	_, fast := l.Reserve(0, 1000)
+	if slow != 2*fast-l.Latency() {
+		t.Fatalf("degraded completion %v, healthy %v: serialization did not double", slow, fast)
+	}
+
+	l.Reset()
+	l.Fail()
+	if !l.Failed() || l.EffectiveBandwidth() != 0 {
+		t.Fatal("failed link still advertising bandwidth")
+	}
+	start, done := l.Reserve(100, 1)
+	if start != 100 || done != MaxTime {
+		t.Fatalf("failed Reserve = (%v, %v), want (100, MaxTime)", start, done)
+	}
+	l.Restore()
+	if l.Faulty() {
+		t.Fatal("Restore left fault state")
+	}
+}
+
+// TestLinkResetPreservesFaults: Reset clears reservations and statistics but
+// a broken wire must stay broken across experiment re-runs.
+func TestLinkResetPreservesFaults(t *testing.T) {
+	l := NewLink("wire", 1e9, 0)
+	l.Fail()
+	l.Reserve(0, 64)
+	l.Reset()
+	if !l.Failed() {
+		t.Fatal("Reset repaired a hard failure")
+	}
+	if l.Transfers() != 0 || l.FreeAt() != 0 {
+		t.Fatal("Reset did not clear dynamic state")
+	}
+	l.Restore()
+	l.Degrade(0.25)
+	l.Reset()
+	if l.DegradeFactor() != 0.25 {
+		t.Fatal("Reset repaired a degradation")
+	}
+}
+
+func TestDegradeRejectsBadFactor(t *testing.T) {
+	for _, f := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Degrade(%v) did not panic", f)
+				}
+			}()
+			NewLink("wire", 1e9, 0).Degrade(f)
+		}()
+	}
+	// Factor 1 is the healthy identity and must be accepted.
+	NewLink("wire", 1e9, 0).Degrade(1)
+}
+
+// TestReserveAtExactCompletionInstant: a reservation arriving exactly when
+// the previous transfer's serialization ends must start immediately, with no
+// idle gap and no overlap.
+func TestReserveAtExactCompletionInstant(t *testing.T) {
+	l := NewLink("wire", 1e9, 5*Nanosecond) // 1 GB/s: 1 byte/ns
+	_, _ = l.Reserve(0, 1000)               // wire busy [0, 1000ns)
+	busyUntil := l.FreeAt()
+	if busyUntil != 1000*Nanosecond {
+		t.Fatalf("FreeAt = %v, want 1000ns", busyUntil)
+	}
+	start, done := l.Reserve(busyUntil, 500)
+	if start != busyUntil {
+		t.Fatalf("back-to-back start %v, want %v (no queueing at the exact boundary)", start, busyUntil)
+	}
+	if want := busyUntil + 500*Nanosecond + l.Latency(); done != want {
+		t.Fatalf("done %v, want %v", done, want)
+	}
+}
+
+// TestLinkHalfDuplexSharing: the rank bus is one Link shared by both
+// directions, so opposing transfers serialize instead of overlapping.
+func TestLinkHalfDuplexSharing(t *testing.T) {
+	bus := NewLink("bus", 1e9, 0)
+	_, aDone := bus.Reserve(0, 1000) // A -> B
+	bStart, bDone := bus.Reserve(0, 1000)
+	if bStart != aDone {
+		t.Fatalf("opposing transfer started at %v, want %v (half-duplex must serialize)", bStart, aDone)
+	}
+	if bDone != 2000*Nanosecond {
+		t.Fatalf("second transfer done %v, want 2000ns", bDone)
+	}
+	if bus.Occupancy() != 2000*Nanosecond {
+		t.Fatalf("occupancy %v, want 2000ns", bus.Occupancy())
+	}
+}
+
+// TestReserveZeroBytesOnBusyLink: zero-byte control messages still queue
+// behind in-flight traffic but occupy the wire for no time.
+func TestReserveZeroBytesOnBusyLink(t *testing.T) {
+	l := NewLink("wire", 1e9, 7*Nanosecond)
+	l.Reserve(0, 1000)
+	start, done := l.Reserve(0, 0)
+	if start != 1000*Nanosecond {
+		t.Fatalf("zero-byte start %v, want 1000ns (FIFO behind in-flight bytes)", start)
+	}
+	if done != start+l.Latency() {
+		t.Fatalf("zero-byte done %v, want start+latency %v", done, start+l.Latency())
+	}
+	if l.FreeAt() != start {
+		t.Fatalf("zero-byte transfer held the wire: FreeAt %v, want %v", l.FreeAt(), start)
+	}
+}
+
+func TestAddSat(t *testing.T) {
+	cases := []struct{ a, b, want Time }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{MaxTime, 1, MaxTime},
+		{1, MaxTime, MaxTime},
+		{MaxTime, MaxTime, MaxTime},
+		{MaxTime - 5, 5, MaxTime},
+		{MaxTime - 5, 4, MaxTime - 1},
+		{100, -50, 50},
+	}
+	for _, c := range cases {
+		if got := AddSat(c.a, c.b); got != c.want {
+			t.Errorf("AddSat(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	var s Schedule
+	var fired []int
+	s.Add(30, func() { fired = append(fired, 3) })
+	s.Add(10, func() { fired = append(fired, 1) })
+	s.Add(20, func() { fired = append(fired, 2) })
+	s.Add(10, func() { fired = append(fired, 11) }) // same-instant tie: insertion order
+
+	if n := s.ApplyUpTo(5); n != 0 {
+		t.Fatalf("fired %d activations before their instants", n)
+	}
+	if n := s.ApplyUpTo(15); n != 2 {
+		t.Fatalf("ApplyUpTo(15) fired %d, want 2", n)
+	}
+	if n := s.ApplyUpTo(15); n != 0 {
+		t.Fatal("activations fired twice")
+	}
+	if n := s.ApplyUpTo(100); n != 2 {
+		t.Fatalf("remaining fired %d, want 2", n)
+	}
+	want := []int{1, 11, 2, 3}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if s.Pending() != 0 || s.Len() != 4 {
+		t.Fatalf("pending %d len %d, want 0 and 4", s.Pending(), s.Len())
+	}
+
+	// Rewind re-arms without losing activations.
+	s.Rewind()
+	if s.Pending() != 4 {
+		t.Fatalf("pending after Rewind = %d, want 4", s.Pending())
+	}
+	if n := s.ApplyUpTo(100); n != 4 {
+		t.Fatalf("replay fired %d, want 4", n)
+	}
+}
+
+func TestScheduleNegativeInstantClamps(t *testing.T) {
+	var s Schedule
+	ran := false
+	s.Add(-5, func() { ran = true })
+	s.ApplyUpTo(0)
+	if !ran {
+		t.Fatal("negative-instant activation did not fire at t=0")
+	}
+}
+
+// TestEngineAttachFaults: a timed failure fires between events, so an event
+// before the instant sees a healthy link and one after sees it failed.
+func TestEngineAttachFaults(t *testing.T) {
+	l := NewLink("wire", 1e9, 0)
+	var s Schedule
+	s.Add(50, l.Fail)
+	e := NewEngine()
+	e.AttachFaults(&s)
+
+	var before, after Time
+	e.At(40, func() { _, before = l.Reserve(e.Now(), 10) })
+	e.At(60, func() { _, after = l.Reserve(e.Now(), 10) })
+	e.Run()
+	if before == MaxTime {
+		t.Fatal("fault fired before its instant")
+	}
+	if after != MaxTime {
+		t.Fatal("fault did not fire by its instant")
+	}
+
+	// Detaching stops activation delivery.
+	s.Rewind()
+	l.Restore()
+	l.Reset()
+	e2 := NewEngine()
+	e2.AttachFaults(nil)
+	var done Time
+	e2.At(60, func() { _, done = l.Reserve(e2.Now(), 10) })
+	e2.Run()
+	if done == MaxTime {
+		t.Fatal("detached schedule still fired")
+	}
+}

@@ -16,6 +16,14 @@ type Link struct {
 	bwBps   float64 // bytes per second
 	latency Time
 
+	// Fault state, mutated by the fault-injection layer. degrade is a
+	// bandwidth multiplier in (0, 1]; failed marks a hard failure, on which
+	// reservations never complete (they return MaxTime). Fault state is
+	// deliberately preserved across Reset: a broken wire stays broken when
+	// an experiment re-runs; only Restore repairs it.
+	degrade float64
+	failed  bool
+
 	free      Time // instant the wire becomes idle
 	busyTotal Time // accumulated occupancy, for utilization reporting
 	transfers uint64
@@ -25,7 +33,7 @@ type Link struct {
 // NewLink returns a link with the given bandwidth (bytes/second) and
 // propagation latency.
 func NewLink(name string, bwBytesPerSec float64, latency Time) *Link {
-	return &Link{name: name, bwBps: bwBytesPerSec, latency: latency}
+	return &Link{name: name, bwBps: bwBytesPerSec, latency: latency, degrade: 1}
 }
 
 // Name returns the link's diagnostic name.
@@ -40,6 +48,45 @@ func (l *Link) Latency() Time { return l.latency }
 // SetBandwidth adjusts the link bandwidth; used by sensitivity sweeps.
 func (l *Link) SetBandwidth(bwBytesPerSec float64) { l.bwBps = bwBytesPerSec }
 
+// Degrade applies a bandwidth-degradation fault: subsequent transfers run at
+// factor times the configured bandwidth. The factor must be in (0, 1].
+func (l *Link) Degrade(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("sim: degrade factor %v on %s outside (0,1]", factor, l.name))
+	}
+	l.degrade = factor
+}
+
+// DegradeFactor returns the active bandwidth-degradation multiplier (1 when
+// healthy).
+func (l *Link) DegradeFactor() float64 { return l.degrade }
+
+// Fail applies a hard failure: subsequent reservations never complete.
+func (l *Link) Fail() { l.failed = true }
+
+// Failed reports whether the link is hard-failed.
+func (l *Link) Failed() bool { return l.failed }
+
+// Faulty reports whether any fault (degradation or hard failure) is active.
+func (l *Link) Faulty() bool { return l.failed || l.degrade != 1 }
+
+// Restore repairs all fault state, returning the link to its configured
+// bandwidth.
+func (l *Link) Restore() {
+	l.degrade = 1
+	l.failed = false
+}
+
+// EffectiveBandwidth returns the bandwidth transfers currently observe:
+// zero when hard-failed, otherwise the configured rate scaled by any active
+// degradation.
+func (l *Link) EffectiveBandwidth() float64 {
+	if l.failed {
+		return 0
+	}
+	return l.bwBps * l.degrade
+}
+
 // FreeAt returns the instant the wire next becomes idle.
 func (l *Link) FreeAt() Time { return l.free }
 
@@ -51,12 +98,21 @@ func (l *Link) Reserve(at Time, bytes int64) (start, done Time) {
 		panic(fmt.Sprintf("sim: negative transfer size %d on %s", bytes, l.name))
 	}
 	start = MaxOf(at, l.free)
-	ser := TransferTime(bytes, l.bwBps)
-	l.free = start + ser
-	l.busyTotal += ser
+	if l.failed {
+		// A hard-failed wire never delivers: the reservation is queued (so
+		// statistics still count it) but completion is pushed to the
+		// "never" sentinel, which the detection layer turns into a timeout.
+		l.free = MaxTime
+		l.transfers++
+		l.bytes += bytes
+		return start, MaxTime
+	}
+	ser := TransferTime(bytes, l.bwBps*l.degrade)
+	l.free = AddSat(start, ser)
+	l.busyTotal = AddSat(l.busyTotal, ser)
 	l.transfers++
 	l.bytes += bytes
-	return start, l.free + l.latency
+	return start, AddSat(l.free, l.latency)
 }
 
 // Occupancy returns the total time the wire has spent busy.

@@ -99,6 +99,16 @@ func TransferTime(bytes int64, bw float64) Time {
 	return Time(math.Ceil(float64(bytes) / bw * float64(Second)))
 }
 
+// AddSat returns a+b saturated at MaxTime. Fault modelling uses MaxTime as
+// an "never completes" sentinel (a hard-failed link), and sums involving it
+// must stay pinned at the sentinel instead of wrapping negative.
+func AddSat(a, b Time) Time {
+	if b > 0 && a > MaxTime-b {
+		return MaxTime
+	}
+	return a + b
+}
+
 // MaxOf returns the larger of a and b.
 func MaxOf(a, b Time) Time {
 	if a > b {

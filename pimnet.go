@@ -42,6 +42,7 @@ import (
 	"pimnet/internal/collective"
 	"pimnet/internal/config"
 	"pimnet/internal/core"
+	"pimnet/internal/faults"
 	"pimnet/internal/host"
 	"pimnet/internal/machine"
 	"pimnet/internal/metrics"
@@ -76,6 +77,12 @@ type (
 	Report = machine.Report
 	// WorkloadOptions selects a workload's execution scope.
 	WorkloadOptions = workloads.Options
+	// FaultSpec configures the deterministic fault generator.
+	FaultSpec = faults.Spec
+	// FaultModel is a realized, seed-determined fault set.
+	FaultModel = faults.Model
+	// FaultCounters tallies the recovery ladder's events.
+	FaultCounters = metrics.FaultCounters
 )
 
 // Collective patterns (paper Table V).
@@ -164,3 +171,35 @@ func EvaluationSuite(nodes int, seed int64, scaled bool) ([]Workload, error) {
 
 // Speedup returns a.Total / b.Total.
 func Speedup(a, b Report) float64 { return machine.Speedup(a, b) }
+
+// ParseFaultSpec parses the CLI fault syntax, e.g.
+// "fail-chip=1,degrade=2,corrupt=0.05". See faults.ParseSpec for the keys.
+func ParseFaultSpec(s string) (FaultSpec, error) { return faults.ParseSpec(s) }
+
+// NewFaultModel realizes a fault spec against the system's single-channel
+// topology. The same spec, seed, and topology always yield the same faults.
+func NewFaultModel(spec FaultSpec, sys System) (*FaultModel, error) {
+	return faults.New(spec, sys.Ranks, sys.ChipsPerRank, sys.BanksPerChip)
+}
+
+// NewFaultyPIMnet builds the PIMnet backend with a fault model armed and the
+// host-relay baseline as its degradation fallback. With an empty spec the
+// backend still runs the detection machinery but reports healthy latencies.
+func NewFaultyPIMnet(sys System, spec FaultSpec) (*core.PIMnet, error) {
+	m, err := NewFaultModel(spec, sys)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPIMnet(sys)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := host.NewBaseline(sys)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.EnableFaults(m, fb); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
