@@ -1,9 +1,15 @@
 # Developer entry points. `make check` is the CI gate: vet plus the full
-# test suite under the race detector.
+# test suite under the race detector, then the per-package coverage floor.
 
 GO ?= go
 
-.PHONY: build test check fuzz bench
+# Packages that must stay above the coverage floor (in percent): the plan
+# compiler/cache and the parallel sweep engine are the determinism-critical
+# core of the harness.
+COVER_PKGS = ./internal/core ./internal/sweep
+COVER_FLOOR = 80
+
+.PHONY: build test check cover fuzz bench golden
 
 build:
 	$(GO) build ./...
@@ -11,14 +17,33 @@ build:
 test:
 	$(GO) test ./...
 
-# The CI gate: static analysis and the race-enabled suite must both pass.
+# The CI gate: static analysis, the race-enabled suite, and the coverage
+# floor must all pass.
 check:
-	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) cover
+
+# Per-package coverage floor: fail if any COVER_PKGS package drops below
+# COVER_FLOOR percent of statements.
+cover:
+	@set -e; for pkg in $(COVER_PKGS); do \
+		$(GO) test -coverprofile=/tmp/pimnet-cover.out $$pkg > /dev/null; \
+		pct=$$($(GO) tool cover -func=/tmp/pimnet-cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
+		ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN {print (p >= f) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "coverage $$pkg below floor"; exit 1; fi; \
+	done; rm -f /tmp/pimnet-cover.out
 
 # Short fuzz pass over the collective verify interpreter (the recovery
-# ladder's correctness oracle); extend -fuzztime for deeper runs.
+# ladder's correctness oracle) and the plan-cache key; extend -fuzztime for
+# deeper runs.
 fuzz:
 	$(GO) test -fuzz=FuzzVerify -fuzztime=30s ./internal/collective/
+	$(GO) test -fuzz=FuzzPlanCacheKey -fuzztime=30s ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the golden-trace corpus after an intentional compiler or
+# executor change; review the diff before committing.
+golden:
+	$(GO) test ./internal/core -run TestGoldenTraces -update

@@ -8,40 +8,81 @@
 //	pimnetbench -fig ablations  # the A1-A6 design-choice studies
 //	pimnetbench -scaled      # reduced inputs (seconds instead of minutes)
 //	pimnetbench -csv         # machine-readable output
+//	pimnetbench -workers 8   # bound the sweep worker pool (0 = GOMAXPROCS)
+//	pimnetbench -stats       # append a sweep execution/cache summary
+//
+// Experiment points fan out over a bounded goroutine pool (internal/sweep)
+// and share one compiled-plan cache, so repeated configurations bind cached
+// blueprints instead of recompiling. Results are bit-identical to a serial
+// run regardless of -workers.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"pimnet/internal/core"
 	"pimnet/internal/experiments"
+	"pimnet/internal/metrics"
 	"pimnet/internal/report"
+	"pimnet/internal/sweep"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "experiment to run: 2, 3, 4 (Table IV), 10, 11, 12, 13, 14, 15, 16, 17, hw, a1-a6, ablations, or all")
 	scaled := flag.Bool("scaled", false, "use reduced workload inputs for a quick run")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print sweep execution and plan-cache statistics")
 	flag.Parse()
 
-	if err := run(*fig, *scaled, *csv); err != nil {
+	err := run(options{fig: *fig, scaled: *scaled, csv: *csv,
+		workers: *workers, stats: *stats, out: os.Stdout})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimnetbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, scaled, csv bool) error {
+// options carries the parsed command line into run.
+type options struct {
+	fig     string
+	scaled  bool
+	csv     bool
+	workers int
+	stats   bool
+	out     io.Writer
+}
+
+func run(o options) error {
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", o.workers)
+	}
+	if o.out == nil {
+		o.out = os.Stdout
+	}
+
+	// All experiments of one invocation share a worker-pool bound, one
+	// compiled-plan cache, and one stats aggregate.
+	var agg metrics.SweepStats
+	sw := []sweep.Option{
+		sweep.WithWorkers(o.workers),
+		sweep.WithCache(core.NewPlanCache()),
+		sweep.WithStats(&agg),
+	}
+
 	emit := func(tables ...*report.Table) {
 		for _, t := range tables {
-			if csv {
-				fmt.Print(t.CSV())
+			if o.csv {
+				fmt.Fprint(o.out, t.CSV())
 			} else {
-				fmt.Println(t)
+				fmt.Fprintln(o.out, t)
 			}
 		}
 	}
-	want := func(name string) bool { return fig == "all" || fig == name }
+	want := func(name string) bool { return o.fig == "all" || o.fig == name }
 	ran := false
 
 	if want("2") {
@@ -53,7 +94,7 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("3") {
-		_, _, ts, err := experiments.Fig3Scalability()
+		_, _, ts, err := experiments.Fig3Scalability(sw...)
 		if err != nil {
 			return err
 		}
@@ -65,7 +106,7 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("10") {
-		_, t, err := experiments.Fig10Applications(scaled)
+		_, t, err := experiments.Fig10Applications(o.scaled, sw...)
 		if err != nil {
 			return err
 		}
@@ -73,7 +114,7 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("11") {
-		_, t, err := experiments.Fig11CommBreakdown(scaled)
+		_, t, err := experiments.Fig11CommBreakdown(o.scaled, sw...)
 		if err != nil {
 			return err
 		}
@@ -81,7 +122,7 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("12") {
-		_, _, ts, err := experiments.Fig12CollectiveScaling()
+		_, _, ts, err := experiments.Fig12CollectiveScaling(sw...)
 		if err != nil {
 			return err
 		}
@@ -97,11 +138,11 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("14") {
-		_, ta, err := experiments.Fig14BankBandwidth()
+		_, ta, err := experiments.Fig14BankBandwidth(sw...)
 		if err != nil {
 			return err
 		}
-		_, tb, err := experiments.Fig14GlobalBandwidth()
+		_, tb, err := experiments.Fig14GlobalBandwidth(sw...)
 		if err != nil {
 			return err
 		}
@@ -109,7 +150,7 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("15") {
-		_, t, err := experiments.Fig15AltPIM(scaled)
+		_, t, err := experiments.Fig15AltPIM(o.scaled, sw...)
 		if err != nil {
 			return err
 		}
@@ -117,7 +158,7 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("16") {
-		_, t, err := experiments.Fig16ChannelScaling()
+		_, t, err := experiments.Fig16ChannelScaling(sw...)
 		if err != nil {
 			return err
 		}
@@ -138,7 +179,7 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("ablations") || want("a1") {
-		_, t, err := experiments.AblationFlatVsHierarchical()
+		_, t, err := experiments.AblationFlatVsHierarchical(sw...)
 		if err != nil {
 			return err
 		}
@@ -146,7 +187,7 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("ablations") || want("a2") {
-		_, t, err := experiments.AblationSyncSensitivity()
+		_, t, err := experiments.AblationSyncSensitivity(sw...)
 		if err != nil {
 			return err
 		}
@@ -154,7 +195,7 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("ablations") || want("a3") {
-		_, t, err := experiments.AblationWRAMStaging()
+		_, t, err := experiments.AblationWRAMStaging(sw...)
 		if err != nil {
 			return err
 		}
@@ -162,7 +203,7 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("ablations") || want("a4") {
-		_, t, err := experiments.AblationNocParameters()
+		_, t, err := experiments.AblationNocParameters(sw...)
 		if err != nil {
 			return err
 		}
@@ -170,7 +211,7 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if want("ablations") || want("a5") {
-		_, t, err := experiments.AblationInterChannel()
+		_, t, err := experiments.AblationInterChannel(sw...)
 		if err != nil {
 			return err
 		}
@@ -186,7 +227,10 @@ func run(fig string, scaled, csv bool) error {
 		ran = true
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q", fig)
+		return fmt.Errorf("unknown experiment %q", o.fig)
+	}
+	if o.stats {
+		emit(report.SweepSummary(agg))
 	}
 	return nil
 }

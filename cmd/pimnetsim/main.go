@@ -8,6 +8,13 @@
 //	pimnetsim -compare -pattern alltoall -bytes 32768 -dpus 256
 //	pimnetsim -plan -pattern allreduce -dpus 64   # dump the compiled schedule
 //	pimnetsim -faults fail-chip=1 -fault-seed 7 -pattern allreduce -dpus 256
+//	pimnetsim -sweep -sweep-dpus 64,256 -sweep-bytes 4096,32768 -workers 4
+//
+// -sweep runs the selected backend and pattern over the cross product of
+// -sweep-dpus and -sweep-bytes on a bounded goroutine pool (internal/sweep),
+// sharing compiled plans across points through one plan cache. Results are
+// deterministic regardless of -workers; the run ends with an execution and
+// cache summary.
 //
 // The -faults spec is a comma-separated key=value list injecting
 // deterministic faults into the pimnet backend: degrade=<n>,
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"pimnet"
@@ -27,6 +35,7 @@ import (
 	"pimnet/internal/core"
 	"pimnet/internal/metrics"
 	"pimnet/internal/report"
+	"pimnet/internal/sweep"
 )
 
 var patterns = map[string]pimnet.Pattern{
@@ -50,16 +59,20 @@ var workloadNames = []string{"BFS", "CC", "GEMV", "MLP", "SpMV", "EMB", "NTT", "
 
 // options collects the parsed command line.
 type options struct {
-	backend   string
-	pattern   string
-	bytes     int64
-	dpus      int
-	workload  string
-	scaled    bool
-	compare   bool
-	plan      bool
-	faults    string
-	faultSeed int64
+	backend    string
+	pattern    string
+	bytes      int64
+	dpus       int
+	workload   string
+	scaled     bool
+	compare    bool
+	plan       bool
+	faults     string
+	faultSeed  int64
+	sweepMode  bool
+	sweepDPUs  string
+	sweepBytes string
+	workers    int
 }
 
 func main() {
@@ -74,6 +87,10 @@ func main() {
 	flag.BoolVar(&o.plan, "plan", false, "dump the compiled PIMnet schedule instead of executing")
 	flag.StringVar(&o.faults, "faults", "", "fault spec to inject into the pimnet backend, e.g. fail-chip=1,corrupt=0.05")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for deterministic fault placement")
+	flag.BoolVar(&o.sweepMode, "sweep", false, "sweep the pattern over -sweep-dpus x -sweep-bytes on a worker pool")
+	flag.StringVar(&o.sweepDPUs, "sweep-dpus", "64,256", "comma-separated DPU populations for -sweep")
+	flag.StringVar(&o.sweepBytes, "sweep-bytes", "4096,32768", "comma-separated payload sizes (bytes per DPU) for -sweep")
+	flag.IntVar(&o.workers, "workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if err := validate(o); err != nil {
@@ -82,6 +99,13 @@ func main() {
 	}
 	if o.plan {
 		if err := dumpPlan(o.pattern, o.bytes, o.dpus); err != nil {
+			fmt.Fprintln(os.Stderr, "pimnetsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if o.sweepMode {
+		if err := runSweep(o); err != nil {
 			fmt.Fprintln(os.Stderr, "pimnetsim:", err)
 			os.Exit(1)
 		}
@@ -125,7 +149,40 @@ func validate(o options) error {
 			return err
 		}
 	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", o.workers)
+	}
+	if o.sweepMode {
+		if o.plan || o.workload != "" || o.faults != "" || o.compare {
+			return fmt.Errorf("-sweep runs one backend over a collective matrix; it cannot be combined with -plan, -workload, -faults, or -compare")
+		}
+		if _, err := parseIntList(o.sweepDPUs, "-sweep-dpus"); err != nil {
+			return err
+		}
+		if _, err := parseIntList(o.sweepBytes, "-sweep-bytes"); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s, flagName string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("%s must name at least one value", flagName)
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad value %q: %v", flagName, part, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("%s: value %d must be >= 1", flagName, v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func patternList() []string {
@@ -262,6 +319,89 @@ func runWorkload(sys pimnet.System, targets []pimnet.Backend, name string, dpus 
 			report.Pct(rep.CommFraction()))
 	}
 	fmt.Println(tbl)
+	return nil
+}
+
+// newBackend builds exactly one backend, attaching the shared plan cache
+// when it is the PIMnet (the only backend that compiles plans).
+func newBackend(sys pimnet.System, name string, cache *core.PlanCache) (pimnet.Backend, error) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return pimnet.NewBaseline(sys)
+	case "ideal":
+		return pimnet.NewIdealSoftware(sys)
+	case "ndpbridge":
+		return pimnet.NewNDPBridge(sys)
+	case "dimmlink":
+		return pimnet.NewDIMMLink(sys)
+	case "pimnet":
+		p, err := pimnet.NewPIMnet(sys)
+		if err != nil {
+			return nil, err
+		}
+		return p.WithPlanCache(cache), nil
+	}
+	return nil, fmt.Errorf("unknown backend %q", name)
+}
+
+// runSweep fans the selected collective over the -sweep-dpus x -sweep-bytes
+// matrix on a bounded worker pool. Every point owns its backend (and so its
+// simulation engine); points share only the compiled-plan cache.
+func runSweep(o options) error {
+	pat, ok := patterns[strings.ToLower(o.pattern)]
+	if !ok {
+		return fmt.Errorf("unknown pattern %q", o.pattern)
+	}
+	dpus, err := parseIntList(o.sweepDPUs, "-sweep-dpus")
+	if err != nil {
+		return err
+	}
+	sizes, err := parseIntList(o.sweepBytes, "-sweep-bytes")
+	if err != nil {
+		return err
+	}
+	type point struct {
+		dpus  int
+		bytes int64
+	}
+	var grid []point
+	for _, d := range dpus {
+		for _, b := range sizes {
+			grid = append(grid, point{dpus: d, bytes: int64(b)})
+		}
+	}
+
+	type row struct {
+		cols []string
+	}
+	rows, stats, err := sweep.Run(grid, func(ctx *sweep.Context, pt point) (row, error) {
+		sys, err := pimnet.DefaultSystem().WithDPUs(pt.dpus)
+		if err != nil {
+			return row{}, err
+		}
+		be, err := newBackend(sys, o.backend, ctx.Cache)
+		if err != nil {
+			return row{}, err
+		}
+		res, err := be.Collective(pimnet.Request{Pattern: pat, Op: pimnet.Sum,
+			BytesPerNode: pt.bytes, ElemSize: 4, Nodes: pt.dpus})
+		if err != nil {
+			return row{}, err
+		}
+		return row{cols: []string{fmt.Sprintf("%d", pt.dpus), report.Bytes(pt.bytes),
+			res.Time.String(), res.Breakdown.String()}}, nil
+	}, sweep.WithWorkers(o.workers), sweep.WithCache(core.NewPlanCache()))
+	if err != nil {
+		return err
+	}
+
+	tbl := report.New(fmt.Sprintf("%v sweep on %s", pat, o.backend),
+		"DPUs", "bytes/DPU", "latency", "breakdown")
+	for _, r := range rows {
+		tbl.AddRow(r.cols...)
+	}
+	fmt.Println(tbl)
+	fmt.Println(report.SweepSummary(stats))
 	return nil
 }
 

@@ -3,8 +3,10 @@ package main
 import "testing"
 
 func opts(mut func(*options)) options {
+	// Mirrors the flag defaults (with reduced matrix sizes for test speed).
 	o := options{backend: "pimnet", pattern: "allreduce", bytes: 4096,
-		dpus: 64, scaled: true, faultSeed: 1}
+		dpus: 64, scaled: true, faultSeed: 1,
+		sweepDPUs: "64,256", sweepBytes: "4096,32768"}
 	if mut != nil {
 		mut(&o)
 	}
@@ -74,6 +76,20 @@ func TestValidate(t *testing.T) {
 		{"faults+baseline", func(o *options) { o.faults = "degrade=1"; o.backend = "baseline" }, false},
 		{"malformed faults", func(o *options) { o.faults = "fail-chip" }, false},
 		{"unknown fault key", func(o *options) { o.faults = "explode=1" }, false},
+		{"sweep", func(o *options) { o.sweepMode = true }, true},
+		{"sweep custom matrix", func(o *options) {
+			o.sweepMode = true
+			o.sweepDPUs = "64, 256"
+			o.sweepBytes = "1024"
+		}, true},
+		{"sweep+plan", func(o *options) { o.sweepMode = true; o.plan = true }, false},
+		{"sweep+workload", func(o *options) { o.sweepMode = true; o.workload = "CC" }, false},
+		{"sweep+faults", func(o *options) { o.sweepMode = true; o.faults = "degrade=1" }, false},
+		{"sweep+compare", func(o *options) { o.sweepMode = true; o.compare = true }, false},
+		{"sweep empty dpus", func(o *options) { o.sweepMode = true; o.sweepDPUs = "" }, false},
+		{"sweep bad bytes", func(o *options) { o.sweepMode = true; o.sweepBytes = "4k" }, false},
+		{"sweep zero dpus", func(o *options) { o.sweepMode = true; o.sweepDPUs = "0,64" }, false},
+		{"negative workers", func(o *options) { o.workers = -2 }, false},
 	}
 	for _, tc := range cases {
 		err := validate(opts(tc.mut))
@@ -101,6 +117,56 @@ func TestRunWithFaults(t *testing.T) {
 		o.faults = "corrupt=0.2"
 	})); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	// The full matrix on the pimnet backend, parallel pool.
+	if err := runSweep(opts(func(o *options) {
+		o.sweepMode = true
+		o.workers = 4
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// A repeated point must be served from the plan cache, and a non-compiling
+	// backend must sweep too.
+	if err := runSweep(opts(func(o *options) {
+		o.sweepMode = true
+		o.sweepDPUs = "64,64"
+		o.sweepBytes = "4096"
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(opts(func(o *options) {
+		o.sweepMode = true
+		o.backend = "baseline"
+		o.sweepBytes = "4096"
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(opts(func(o *options) {
+		o.sweepMode = true
+		o.pattern = "nosuch"
+	})); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+	if err := runSweep(opts(func(o *options) {
+		o.sweepMode = true
+		o.backend = "nosuch"
+	})); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList(" 64 , 256 ", "-x")
+	if err != nil || len(got) != 2 || got[0] != 64 || got[1] != 256 {
+		t.Fatalf("parseIntList: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"", " ", "64,", "a", "-1", "0"} {
+		if _, err := parseIntList(bad, "-x"); err == nil {
+			t.Errorf("parseIntList(%q) accepted", bad)
+		}
 	}
 }
 

@@ -42,6 +42,10 @@ type Network struct {
 	deadPath  map[chipPath]bool
 	chipOrder []int
 	ringPos   map[*sim.Link]ringLoc
+
+	// linkRef reverse-indexes every link to its coordinate so compiled
+	// plans can be lifted into network-independent blueprints (plancache.go).
+	linkRef map[*sim.Link]LinkRef
 }
 
 // chipPath identifies one configured crossbar pairing within a rank.
@@ -79,13 +83,18 @@ func NewNetwork(sys config.System) (*Network, error) {
 	}
 	n.rankBus = sim.NewLink("ddr-bus", sys.Net.RankBusBW, sys.Net.RankBusLat)
 	n.ringPos = make(map[*sim.Link]ringLoc, topo.Ranks*topo.Chips*topo.Banks)
+	n.linkRef = make(map[*sim.Link]LinkRef, topo.Ranks*topo.Chips*(topo.Banks+2)+1)
 	for r := 0; r < topo.Ranks; r++ {
 		for c := 0; c < topo.Chips; c++ {
 			for b := 0; b < topo.Banks; b++ {
 				n.ringPos[n.ringHop[r][c][b]] = ringLoc{r, c, b}
+				n.linkRef[n.ringHop[r][c][b]] = LinkRef{Role: RefRing, Rank: r, Chip: c, Index: b}
 			}
+			n.linkRef[n.chipSend[r][c]] = LinkRef{Role: RefChipSend, Rank: r, Chip: c}
+			n.linkRef[n.chipRecv[r][c]] = LinkRef{Role: RefChipRecv, Rank: r, Chip: c}
 		}
 	}
+	n.linkRef[n.rankBus] = LinkRef{Role: RefBus}
 	return n, nil
 }
 

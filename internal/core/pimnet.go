@@ -16,6 +16,12 @@ type PIMnet struct {
 	// ft is non-nil once EnableFaults has armed a fault model; it carries
 	// the recovery ladder's state (see faulttol.go).
 	ft *ftState
+	// cache, when non-nil, shares compiled-plan blueprints with other
+	// backends (typically the other workers of a parallel sweep). Only the
+	// healthy fast path consults it; PlanVia additionally refuses to serve
+	// or learn from a non-pristine network, so fault recompilation can
+	// never leak a routed-around schedule into the shared cache.
+	cache *PlanCache
 }
 
 var _ backend.Backend = (*PIMnet)(nil)
@@ -36,14 +42,22 @@ func (p *PIMnet) Name() string { return "PIMnet" }
 // (Fig. 14) and diagnostics.
 func (p *PIMnet) Network() *Network { return p.net }
 
+// WithPlanCache attaches a shared compiled-plan cache to the backend and
+// returns it (builder style). Pass nil to detach.
+func (p *PIMnet) WithPlanCache(c *PlanCache) *PIMnet {
+	p.cache = c
+	return p
+}
+
 // Collective implements backend.Backend. With a fault model armed the
 // request runs under the detection/retry/recompilation ladder; otherwise it
-// takes the healthy fast path unchanged.
+// takes the healthy fast path, compiling through the attached plan cache
+// when one is present.
 func (p *PIMnet) Collective(req collective.Request) (backend.Result, error) {
 	if p.ft != nil {
 		return p.faultCollective(req)
 	}
-	plan, err := PlanFor(p.net, req)
+	plan, err := PlanVia(p.cache, p.net, req)
 	if err != nil {
 		return backend.Result{}, fmt.Errorf("pimnet: %w", err)
 	}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+
+	"pimnet/internal/collective"
+	"pimnet/internal/config"
+)
+
+func testNet(t testing.TB, dpus int) *Network {
+	t.Helper()
+	sys, err := config.Default().WithDPUs(dpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func testReq(pat collective.Pattern, nodes int, bytes int64) collective.Request {
+	return collective.Request{Pattern: pat, Op: collective.Sum,
+		BytesPerNode: bytes, ElemSize: 4, Nodes: nodes}
+}
+
+// TestBlueprintRoundTrip: lifting a plan into a blueprint and binding it on
+// a second, independently built network must execute to the identical
+// result, and both plans must share one digest.
+func TestBlueprintRoundTrip(t *testing.T) {
+	for _, pat := range []collective.Pattern{collective.AllReduce, collective.AllGather,
+		collective.ReduceScatter, collective.AllToAll, collective.Broadcast} {
+		src := testNet(t, 256)
+		req := testReq(pat, 256, 32<<10)
+		plan, err := PlanFor(src, req)
+		if err != nil {
+			t.Fatalf("%v: %v", pat, err)
+		}
+		bp, err := BlueprintOf(plan, src)
+		if err != nil {
+			t.Fatalf("%v: BlueprintOf: %v", pat, err)
+		}
+		dst := testNet(t, 256)
+		bound, err := bp.Bind(dst)
+		if err != nil {
+			t.Fatalf("%v: Bind: %v", pat, err)
+		}
+		d1, err := PlanDigest(plan, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := PlanDigest(bound, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Errorf("%v: digest changed across bind: %s vs %s", pat, d1, d2)
+		}
+		r1, err := src.Execute(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := dst.Execute(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Time != r2.Time || r1.Breakdown != r2.Breakdown {
+			t.Errorf("%v: bound plan executed differently: %v vs %v", pat, r1, r2)
+		}
+	}
+}
+
+func TestBlueprintBindRejectsMismatchedTopology(t *testing.T) {
+	src := testNet(t, 256)
+	plan, err := PlanFor(src, testReq(collective.AllReduce, 256, 32<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := BlueprintOf(plan, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Bind(testNet(t, 64)); err == nil {
+		t.Fatal("bound a 256-DPU blueprint to a 64-DPU network")
+	}
+}
+
+func TestBlueprintBindRejectsFaultedNetwork(t *testing.T) {
+	src := testNet(t, 256)
+	plan, err := PlanFor(src, testReq(collective.AllReduce, 256, 32<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := BlueprintOf(plan, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := testNet(t, 256)
+	dst.ringHop[0][0][0].Degrade(0.5)
+	if !dst.Pristine() {
+		// expected: degraded link breaks pristinity
+	} else {
+		t.Fatal("degraded network still pristine")
+	}
+	if _, err := bp.Bind(dst); err == nil {
+		t.Fatal("bound a cached plan to a faulted network")
+	}
+	dst.ringHop[0][0][0].Restore()
+	if !dst.Pristine() {
+		t.Fatal("restored network not pristine")
+	}
+	if _, err := bp.Bind(dst); err != nil {
+		t.Fatalf("restored network refused bind: %v", err)
+	}
+}
+
+func TestPlanCacheCounters(t *testing.T) {
+	c := NewPlanCache()
+	n := testNet(t, 64)
+	req := testReq(collective.AllReduce, 64, 4096)
+
+	if _, err := PlanVia(c, n, req); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("after first compile: %+v", s)
+	}
+	if _, err := PlanVia(c, n, req); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("after repeat: %+v", s)
+	}
+	// A different request is a different key.
+	if _, err := PlanVia(c, n, testReq(collective.AllGather, 64, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("after second pattern: %+v", s)
+	}
+	c.Reset()
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+// TestPlanViaBypassesFaultedNetwork: a non-pristine network must neither
+// read from nor write to the shared cache — fault recompilation stays
+// outside it.
+func TestPlanViaBypassesFaultedNetwork(t *testing.T) {
+	c := NewPlanCache()
+	n := testNet(t, 64)
+	req := testReq(collective.AllReduce, 64, 4096)
+	n.ringHop[0][0][0].Degrade(0.25)
+
+	plan, err := PlanVia(c, n, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatal("nil plan")
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
+		t.Fatalf("faulted network touched the cache: %+v", s)
+	}
+	// Restoration re-enables caching (the ClearFaults story).
+	n.ringHop[0][0][0].Restore()
+	if _, err := PlanVia(c, n, req); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("restored network not cached: %+v", s)
+	}
+}
+
+func TestPlanViaNilCache(t *testing.T) {
+	n := testNet(t, 64)
+	plan, err := PlanVia(nil, n, testReq(collective.AllReduce, 64, 4096))
+	if err != nil || plan == nil {
+		t.Fatalf("nil-cache compile: %v %v", plan, err)
+	}
+}
+
+// TestKeyForDistinguishesStepOverhead: the same request on the same system
+// with a different per-step overhead must occupy a distinct cache slot —
+// the A1 ablation depends on this.
+func TestKeyForDistinguishesStepOverhead(t *testing.T) {
+	a := testNet(t, 64)
+	b := testNet(t, 64)
+	b.SetStepOverhead(1000)
+	req := testReq(collective.AllReduce, 64, 4096)
+	if KeyFor(a, req) == KeyFor(b, req) {
+		t.Fatal("step overhead not part of the cache key")
+	}
+	if KeyFor(a, req) != KeyFor(testNet(t, 64), req) {
+		t.Fatal("identical configurations produced distinct keys")
+	}
+}
+
+// FuzzPlanCacheKey locks in the collision-freedom of the cache key: two
+// (config, request, overhead) tuples map to the same key exactly when they
+// are field-for-field equal. The key is a comparable struct, so Go's map
+// semantics guarantee this; the fuzz target exists to catch a future
+// refactor that replaces the struct key with a lossy digest.
+func FuzzPlanCacheKey(f *testing.F) {
+	f.Add(int64(32<<10), 64, 0, int64(0), int64(4096), 256, 1, int64(100))
+	f.Add(int64(4096), 256, 1, int64(100), int64(4096), 256, 1, int64(100))
+	f.Add(int64(0), 1, 3, int64(-1), int64(1), 2, 2, int64(7))
+	f.Fuzz(func(t *testing.T, bytesA int64, nodesA, patA int, ohA int64,
+		bytesB int64, nodesB, patB int, ohB int64) {
+		sys := config.Default()
+		mkKey := func(bytes int64, nodes, pat int, oh int64) PlanKey {
+			return PlanKey{
+				Sys: sys,
+				Req: collective.Request{Pattern: collective.Pattern(pat % 8), Op: collective.Sum,
+					BytesPerNode: bytes, ElemSize: 4, Nodes: nodes},
+				StepOverheadPs: oh,
+			}
+		}
+		ka := mkKey(bytesA, nodesA, patA, ohA)
+		kb := mkKey(bytesB, nodesB, patB, ohB)
+		tupleEqual := bytesA == bytesB && nodesA == nodesB && patA%8 == patB%8 && ohA == ohB
+
+		if (ka == kb) != tupleEqual {
+			t.Fatalf("key equality %v but tuple equality %v\nka=%+v\nkb=%+v",
+				ka == kb, tupleEqual, ka, kb)
+		}
+		// And the map behaves accordingly: inserting under ka hits on kb
+		// exactly when the tuples are equal.
+		c := NewPlanCache()
+		c.Insert(ka, &Blueprint{})
+		_, ok := c.Lookup(kb)
+		if ok != tupleEqual {
+			t.Fatalf("cache hit=%v for tuple equality %v", ok, tupleEqual)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"pimnet/internal/noc"
 	"pimnet/internal/report"
 	"pimnet/internal/sim"
+	"pimnet/internal/sweep"
 	"pimnet/internal/workloads"
 )
 
@@ -36,42 +37,46 @@ type FlatVsHierRow struct {
 // bandwidth on paper, but needs 2*(P-1) = 510 globally synchronized steps
 // instead of ~20; as per-step overhead (sync skew, bus turnaround, control
 // distribution) grows, the hierarchy's shallow schedule wins decisively.
-func AblationFlatVsHierarchical() ([]FlatVsHierRow, *report.Table, error) {
+func AblationFlatVsHierarchical(opts ...sweep.Option) ([]FlatVsHierRow, *report.Table, error) {
 	sys, err := config.Default().WithDPUs(256)
 	if err != nil {
 		return nil, nil, err
 	}
 	req := request(collective.AllReduce, collective.Sum, 256)
-	tbl := report.New("Ablation A1 — hierarchical vs flat-ring AllReduce (256 DPUs, 32 KiB)",
-		"per-step overhead", "hierarchical", "flat ring", "flat/hier")
-	var rows []FlatVsHierRow
-	for _, oh := range []sim.Time{0, 10 * sim.Nanosecond, 50 * sim.Nanosecond,
-		200 * sim.Nanosecond, 1 * sim.Microsecond} {
+	overheads := []sim.Time{0, 10 * sim.Nanosecond, 50 * sim.Nanosecond,
+		200 * sim.Nanosecond, 1 * sim.Microsecond}
+	rows, _, err := sweep.Run(overheads, func(ctx *sweep.Context, oh sim.Time) (FlatVsHierRow, error) {
 		net, err := core.NewNetwork(sys)
 		if err != nil {
-			return nil, nil, err
+			return FlatVsHierRow{}, err
 		}
 		net.SetStepOverhead(int64(oh))
-		hier, err := core.PlanFor(net, req)
+		hier, err := core.PlanVia(ctx.Cache, net, req)
 		if err != nil {
-			return nil, nil, err
+			return FlatVsHierRow{}, err
 		}
 		hres, err := net.Execute(hier)
 		if err != nil {
-			return nil, nil, err
+			return FlatVsHierRow{}, err
 		}
 		flat, err := core.FlatRingPlan(net, req)
 		if err != nil {
-			return nil, nil, err
+			return FlatVsHierRow{}, err
 		}
 		fres, err := net.Execute(flat)
 		if err != nil {
-			return nil, nil, err
+			return FlatVsHierRow{}, err
 		}
-		row := FlatVsHierRow{StepOverhead: oh, Hierarchical: hres.Time, FlatRing: fres.Time,
-			HierAdvantage: float64(fres.Time) / float64(hres.Time)}
-		rows = append(rows, row)
-		tbl.AddRow(oh.String(), hres.Time.String(), fres.Time.String(),
+		return FlatVsHierRow{StepOverhead: oh, Hierarchical: hres.Time, FlatRing: fres.Time,
+			HierAdvantage: float64(fres.Time) / float64(hres.Time)}, nil
+	}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New("Ablation A1 — hierarchical vs flat-ring AllReduce (256 DPUs, 32 KiB)",
+		"per-step overhead", "hierarchical", "flat ring", "flat/hier")
+	for _, row := range rows {
+		tbl.AddRow(row.StepOverhead.String(), row.Hierarchical.String(), row.FlatRing.String(),
 			report.Speedup(row.HierAdvantage))
 	}
 	return rows, tbl, nil
@@ -88,29 +93,34 @@ type SyncRow struct {
 // READY/START propagation and argues it is negligible against a >1000-cycle
 // collective. Sweep it three orders of magnitude to find where that stops
 // holding.
-func AblationSyncSensitivity() ([]SyncRow, *report.Table, error) {
-	tbl := report.New("Ablation A2 — READY/START latency sensitivity (AllReduce, 256 DPUs, 32 KiB)",
-		"sync latency", "AllReduce time", "sync share")
-	var rows []SyncRow
-	for _, lat := range []sim.Time{15 * sim.Nanosecond, 150 * sim.Nanosecond,
-		1500 * sim.Nanosecond, 15 * sim.Microsecond, 150 * sim.Microsecond} {
+func AblationSyncSensitivity(opts ...sweep.Option) ([]SyncRow, *report.Table, error) {
+	lats := []sim.Time{15 * sim.Nanosecond, 150 * sim.Nanosecond,
+		1500 * sim.Nanosecond, 15 * sim.Microsecond, 150 * sim.Microsecond}
+	rows, _, err := sweep.Run(lats, func(ctx *sweep.Context, lat sim.Time) (SyncRow, error) {
 		sys, err := config.Default().WithDPUs(256)
 		if err != nil {
-			return nil, nil, err
+			return SyncRow{}, err
 		}
 		sys.Net.SyncRankLat = lat
 		p, err := core.NewPIMnet(sys)
 		if err != nil {
-			return nil, nil, err
+			return SyncRow{}, err
 		}
+		p.WithPlanCache(ctx.Cache)
 		res, err := p.Collective(request(collective.AllReduce, collective.Sum, 256))
 		if err != nil {
-			return nil, nil, err
+			return SyncRow{}, err
 		}
-		row := SyncRow{SyncLatency: lat, ARTime: res.Time,
-			SyncShare: res.Breakdown.Fraction(metrics.Sync)}
-		rows = append(rows, row)
-		tbl.AddRow(lat.String(), res.Time.String(), report.Pct(row.SyncShare))
+		return SyncRow{SyncLatency: lat, ARTime: res.Time,
+			SyncShare: res.Breakdown.Fraction(metrics.Sync)}, nil
+	}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New("Ablation A2 — READY/START latency sensitivity (AllReduce, 256 DPUs, 32 KiB)",
+		"sync latency", "AllReduce time", "sync share")
+	for _, row := range rows {
+		tbl.AddRow(row.SyncLatency.String(), row.ARTime.String(), report.Pct(row.SyncShare))
 	}
 	return rows, tbl, nil
 }
@@ -125,28 +135,33 @@ type WRAMRow struct {
 // AblationWRAMStaging (A3): collectives run out of the 64 KB WRAM; sweep
 // the payload across the staging boundary and measure the Mem share —
 // the overhead the paper observes for CC, EMB_Synth, SpMV and Join.
-func AblationWRAMStaging() ([]WRAMRow, *report.Table, error) {
+func AblationWRAMStaging(opts ...sweep.Option) ([]WRAMRow, *report.Table, error) {
 	sys, err := config.Default().WithDPUs(256)
 	if err != nil {
 		return nil, nil, err
 	}
-	p, err := core.NewPIMnet(sys)
+	rows, _, err := sweep.Run([]int64{8, 16, 32, 64, 128, 256, 512},
+		func(ctx *sweep.Context, kb int64) (WRAMRow, error) {
+			p, err := core.NewPIMnet(sys)
+			if err != nil {
+				return WRAMRow{}, err
+			}
+			p.WithPlanCache(ctx.Cache)
+			res, err := p.Collective(collective.Request{Pattern: collective.AllReduce,
+				Op: collective.Sum, BytesPerNode: kb << 10, ElemSize: 4, Nodes: 256})
+			if err != nil {
+				return WRAMRow{}, err
+			}
+			return WRAMRow{PayloadBytes: kb << 10, ARTime: res.Time,
+				MemShare: res.Breakdown.Fraction(metrics.Mem)}, nil
+		}, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
 	tbl := report.New("Ablation A3 — WRAM staging (AllReduce, 256 DPUs)",
 		"payload per DPU", "AllReduce time", "Mem share")
-	var rows []WRAMRow
-	for _, kb := range []int64{8, 16, 32, 64, 128, 256, 512} {
-		res, err := p.Collective(collective.Request{Pattern: collective.AllReduce,
-			Op: collective.Sum, BytesPerNode: kb << 10, ElemSize: 4, Nodes: 256})
-		if err != nil {
-			return nil, nil, err
-		}
-		row := WRAMRow{PayloadBytes: kb << 10, ARTime: res.Time,
-			MemShare: res.Breakdown.Fraction(metrics.Mem)}
-		rows = append(rows, row)
-		tbl.AddRow(report.Bytes(kb<<10), res.Time.String(), report.Pct(row.MemShare))
+	for _, row := range rows {
+		tbl.AddRow(report.Bytes(row.PayloadBytes), row.ARTime.String(), report.Pct(row.MemShare))
 	}
 	return rows, tbl, nil
 }
@@ -163,29 +178,41 @@ type NocParamRow struct {
 // the packetization granularity. Deeper buffers absorb contention and
 // shrink the gap; they are also exactly the hardware PIMnet exists to
 // avoid paying for.
-func AblationNocParameters() ([]NocParamRow, *report.Table, error) {
-	tbl := report.New("Ablation A4 — flow-control gap vs buffering (A2A, 256 DPUs, 32 KiB)",
-		"buffer (pkts)", "packet bytes", "static advantage")
-	var rows []NocParamRow
+func AblationNocParameters(opts ...sweep.Option) ([]NocParamRow, *report.Table, error) {
+	type gridPoint struct {
+		buf int
+		pkt int64
+	}
+	var grid []gridPoint
 	for _, buf := range []int{1, 2, 4, 8} {
 		for _, pkt := range []int64{512, 1024, 4096} {
-			cfg := noc.DefaultConfig(4, 8, 8)
-			cfg.BufferPackets = buf
-			cfg.PacketBytes = pkt
-			done := noc.SkewedFinishTimes(cfg.Nodes(), 100*sim.Microsecond, 20*sim.Microsecond, 42)
-			cres, err := noc.SimulateAllToAll(cfg, noc.CreditBased, done, WeakScalingBytes)
-			if err != nil {
-				return nil, nil, err
-			}
-			sres, err := noc.SimulateAllToAll(cfg, noc.StaticScheduled, done, WeakScalingBytes)
-			if err != nil {
-				return nil, nil, err
-			}
-			red := 1 - float64(sres.Finish)/float64(cres.Finish)
-			rows = append(rows, NocParamRow{BufferPackets: buf, PacketBytes: pkt, A2AReduction: red})
-			tbl.AddRow(fmt.Sprintf("%d", buf), fmt.Sprintf("%d", pkt),
-				fmt.Sprintf("%.1f%%", red*100))
+			grid = append(grid, gridPoint{buf: buf, pkt: pkt})
 		}
+	}
+	rows, _, err := sweep.Run(grid, func(_ *sweep.Context, gp gridPoint) (NocParamRow, error) {
+		cfg := noc.DefaultConfig(4, 8, 8)
+		cfg.BufferPackets = gp.buf
+		cfg.PacketBytes = gp.pkt
+		done := noc.SkewedFinishTimes(cfg.Nodes(), 100*sim.Microsecond, 20*sim.Microsecond, 42)
+		cres, err := noc.SimulateAllToAll(cfg, noc.CreditBased, done, WeakScalingBytes)
+		if err != nil {
+			return NocParamRow{}, err
+		}
+		sres, err := noc.SimulateAllToAll(cfg, noc.StaticScheduled, done, WeakScalingBytes)
+		if err != nil {
+			return NocParamRow{}, err
+		}
+		red := 1 - float64(sres.Finish)/float64(cres.Finish)
+		return NocParamRow{BufferPackets: gp.buf, PacketBytes: gp.pkt, A2AReduction: red}, nil
+	}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New("Ablation A4 — flow-control gap vs buffering (A2A, 256 DPUs, 32 KiB)",
+		"buffer (pkts)", "packet bytes", "static advantage")
+	for _, row := range rows {
+		tbl.AddRow(fmt.Sprintf("%d", row.BufferPackets), fmt.Sprintf("%d", row.PacketBytes),
+			fmt.Sprintf("%.1f%%", row.A2AReduction*100))
 	}
 	return rows, tbl, nil
 }
@@ -204,35 +231,33 @@ type InterChannelRow struct {
 // chips of different channels, with the same 16.8 GB/s budget as the rank
 // bus, and compare it against the shipped design where cross-channel
 // reduction goes through the host.
-func AblationInterChannel() ([]InterChannelRow, *report.Table, error) {
+func AblationInterChannel(opts ...sweep.Option) ([]InterChannelRow, *report.Table, error) {
 	wl, err := workloads.MLP(workloads.Options{Nodes: 256, Seed: 1}, []int{1024}, 4)
 	if err != nil {
 		return nil, nil, err
 	}
-	tbl := report.New("Ablation A5 — cross-channel combine: host relay vs hypothetical inter-channel link",
-		"channels", "host combine", "inter-channel link", "benefit")
-	var rows []InterChannelRow
-	for _, ch := range []int{2, 4, 8} {
+	rows, _, err := sweep.Run([]int{2, 4, 8}, func(ctx *sweep.Context, ch int) (InterChannelRow, error) {
 		sys := config.Default()
 		sys.Channels = ch
 		p, err := core.NewPIMnet(sys)
 		if err != nil {
-			return nil, nil, err
+			return InterChannelRow{}, err
 		}
+		p.WithPlanCache(ctx.Cache)
 		m, err := machine.New(sys, p)
 		if err != nil {
-			return nil, nil, err
+			return InterChannelRow{}, err
 		}
 		hostRep, err := m.RunMultiChannel(wl)
 		if err != nil {
-			return nil, nil, err
+			return InterChannelRow{}, err
 		}
 		// Link variant: replace the host combine (up + CPU reduce + down)
 		// with a ring Reduce-Scatter/AllGather between channel buffer chips
 		// over the dedicated link.
 		chanRep, err := m.Run(wl)
 		if err != nil {
-			return nil, nil, err
+			return InterChannelRow{}, err
 		}
 		linkTotal := chanRep.Total
 		for _, ph := range wl.Phases {
@@ -247,10 +272,16 @@ func AblationInterChannel() ([]InterChannelRow, *report.Table, error) {
 			ring := 2 * D * int64(ch-1) / int64(ch)
 			linkTotal += sim.Time(iters) * sim.TransferTime(ring, sys.Net.RankBusBW)
 		}
-		row := InterChannelRow{Channels: ch, HostCombine: hostRep.Total, LinkCombine: linkTotal,
-			Benefit: float64(hostRep.Total) / float64(linkTotal)}
-		rows = append(rows, row)
-		tbl.AddRow(fmt.Sprintf("%d", ch), hostRep.Total.String(), linkTotal.String(),
+		return InterChannelRow{Channels: ch, HostCombine: hostRep.Total, LinkCombine: linkTotal,
+			Benefit: float64(hostRep.Total) / float64(linkTotal)}, nil
+	}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New("Ablation A5 — cross-channel combine: host relay vs hypothetical inter-channel link",
+		"channels", "host combine", "inter-channel link", "benefit")
+	for _, row := range rows {
+		tbl.AddRow(fmt.Sprintf("%d", row.Channels), row.HostCombine.String(), row.LinkCombine.String(),
 			report.Speedup(row.Benefit))
 	}
 	return rows, tbl, nil

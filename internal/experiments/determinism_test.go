@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"pimnet/internal/collective"
+	"pimnet/internal/core"
+	"pimnet/internal/report"
+	"pimnet/internal/sweep"
+)
+
+// TestExperimentsDeterministicAcrossPools locks the experiment harness to
+// the sweep engine's determinism contract at the table level: the rendered
+// CSV — the exact artifact a user diffs — must be byte-identical between a
+// serial run and parallel pools, with a shared plan cache in play.
+func TestExperimentsDeterministicAcrossPools(t *testing.T) {
+	type study struct {
+		name string
+		run  func(opts ...sweep.Option) (*report.Table, error)
+	}
+	studies := []study{
+		{"scaling", func(opts ...sweep.Option) (*report.Table, error) {
+			_, tbl, err := CollectiveScaling(collective.AllReduce, collective.Sum,
+				[]int{64, 128, 256}, []string{"Baseline", "PIMnet"}, opts...)
+			return tbl, err
+		}},
+		{"a1", func(opts ...sweep.Option) (*report.Table, error) {
+			_, tbl, err := AblationFlatVsHierarchical(opts...)
+			return tbl, err
+		}},
+		{"a2", func(opts ...sweep.Option) (*report.Table, error) {
+			_, tbl, err := AblationSyncSensitivity(opts...)
+			return tbl, err
+		}},
+		{"a3", func(opts ...sweep.Option) (*report.Table, error) {
+			_, tbl, err := AblationWRAMStaging(opts...)
+			return tbl, err
+		}},
+	}
+	for _, st := range studies {
+		st := st
+		t.Run(st.name, func(t *testing.T) {
+			render := func(workers int) string {
+				tbl, err := st.run(sweep.WithWorkers(workers), sweep.WithCache(core.NewPlanCache()))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return tbl.CSV()
+			}
+			ref := render(1)
+			for _, w := range []int{4, 16} {
+				if got := render(w); got != ref {
+					t.Fatalf("workers=%d CSV diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+						w, ref, got)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,14 @@
 // returns both structured results (asserted by tests and benchmarks) and a
 // rendered table (printed by cmd/pimnetbench and recorded in
 // EXPERIMENTS.md).
+//
+// Every sweep-shaped experiment fans its points out over the
+// internal/sweep worker pool. The variadic sweep.Option parameters select
+// the pool size, a shared compiled-plan cache, and a stats aggregate; with
+// no options the sweep defaults apply (GOMAXPROCS workers, no cache).
+// Results are bit-identical for every pool size: each point builds its own
+// backends and networks, and tables are assembled from the index-ordered
+// result slice after the pool drains.
 package experiments
 
 import (
@@ -23,6 +31,7 @@ import (
 	"pimnet/internal/report"
 	"pimnet/internal/roofline"
 	"pimnet/internal/sim"
+	"pimnet/internal/sweep"
 	"pimnet/internal/workloads"
 )
 
@@ -31,7 +40,9 @@ import (
 const WeakScalingBytes = 32 << 10
 
 // backendsFor builds the five comparison backends for one system shape.
-func backendsFor(sys config.System) (b, s, n, d, p backend.Backend, err error) {
+// cache (nil to disable) attaches a shared compiled-plan cache to the
+// PIMnet backend.
+func backendsFor(sys config.System, cache *core.PlanCache) (b, s, n, d, p backend.Backend, err error) {
 	if b, err = host.NewBaseline(sys); err != nil {
 		return
 	}
@@ -44,7 +55,11 @@ func backendsFor(sys config.System) (b, s, n, d, p backend.Backend, err error) {
 	if d, err = baselines.NewDIMMLink(sys); err != nil {
 		return
 	}
-	p, err = core.NewPIMnet(sys)
+	var pn *core.PIMnet
+	if pn, err = core.NewPIMnet(sys); err != nil {
+		return
+	}
+	p = pn.WithPlanCache(cache)
 	return
 }
 
@@ -107,37 +122,42 @@ type ScalingPoint struct {
 	Speedup float64 // baseline time / this time
 }
 
+// scalingCell is one population's contribution to a scaling study: its
+// structured points plus its pre-rendered table row.
+type scalingCell struct {
+	points []ScalingPoint
+	row    []string
+}
+
 // CollectiveScaling runs the weak-scaling study for one pattern across the
 // given backends; Fig. 3 uses {Baseline, Software(Ideal), PIMnet} and
-// Fig. 12 adds DIMM-Link and (for A2A) NDPBridge.
-func CollectiveScaling(pat collective.Pattern, op collective.Op, dpuCounts []int, names []string) ([]ScalingPoint, *report.Table, error) {
-	tbl := report.New(fmt.Sprintf("Collective weak scaling — %v, %s per DPU", pat, report.Bytes(WeakScalingBytes)),
-		append([]string{"DPUs"}, names...)...)
-	var points []ScalingPoint
-	for _, nDPU := range dpuCounts {
+// Fig. 12 adds DIMM-Link and (for A2A) NDPBridge. Populations run as
+// parallel sweep points.
+func CollectiveScaling(pat collective.Pattern, op collective.Op, dpuCounts []int, names []string, opts ...sweep.Option) ([]ScalingPoint, *report.Table, error) {
+	cells, _, err := sweep.Run(dpuCounts, func(ctx *sweep.Context, nDPU int) (scalingCell, error) {
 		sys, err := config.Default().WithDPUs(nDPU)
 		if err != nil {
-			return nil, nil, err
+			return scalingCell{}, err
 		}
-		b, s, nb, d, p, err := backendsFor(sys)
+		b, s, nb, d, p, err := backendsFor(sys, ctx.Cache)
 		if err != nil {
-			return nil, nil, err
+			return scalingCell{}, err
 		}
 		byName := map[string]backend.Backend{
 			b.Name(): b, s.Name(): s, nb.Name(): nb, d.Name(): d, p.Name(): p,
 		}
 		req := request(pat, op, nDPU)
 		var baseTime sim.Time
-		row := []string{fmt.Sprintf("%d", nDPU)}
+		cell := scalingCell{row: []string{fmt.Sprintf("%d", nDPU)}}
 		for _, name := range names {
 			be, ok := byName[name]
 			if !ok {
-				return nil, nil, fmt.Errorf("experiments: unknown backend %q", name)
+				return scalingCell{}, fmt.Errorf("experiments: unknown backend %q", name)
 			}
 			res, err := be.Collective(req)
 			if err != nil {
-				row = append(row, "n/a")
-				points = append(points, ScalingPoint{DPUs: nDPU, Backend: name})
+				cell.row = append(cell.row, "n/a")
+				cell.points = append(cell.points, ScalingPoint{DPUs: nDPU, Backend: name})
 				continue
 			}
 			if name == "Baseline" {
@@ -147,25 +167,35 @@ func CollectiveScaling(pat collective.Pattern, op collective.Op, dpuCounts []int
 			if res.Time > 0 && baseTime > 0 {
 				sp = float64(baseTime) / float64(res.Time)
 			}
-			points = append(points, ScalingPoint{DPUs: nDPU, Backend: name, Time: res.Time, Speedup: sp})
-			row = append(row, fmt.Sprintf("%s (%.1fx)", res.Time, sp))
+			cell.points = append(cell.points, ScalingPoint{DPUs: nDPU, Backend: name, Time: res.Time, Speedup: sp})
+			cell.row = append(cell.row, fmt.Sprintf("%s (%.1fx)", res.Time, sp))
 		}
-		tbl.AddRow(row...)
+		return cell, nil
+	}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New(fmt.Sprintf("Collective weak scaling — %v, %s per DPU", pat, report.Bytes(WeakScalingBytes)),
+		append([]string{"DPUs"}, names...)...)
+	var points []ScalingPoint
+	for _, cell := range cells {
+		points = append(points, cell.points...)
+		tbl.AddRow(cell.row...)
 	}
 	return points, tbl, nil
 }
 
 // Fig3Scalability reproduces Fig. 3: AR and A2A scaling with Baseline,
 // Software(Ideal) and PIMnet.
-func Fig3Scalability() (ar, a2a []ScalingPoint, tables []*report.Table, err error) {
+func Fig3Scalability(opts ...sweep.Option) (ar, a2a []ScalingPoint, tables []*report.Table, err error) {
 	counts := []int{8, 16, 32, 64, 128, 256}
 	names := []string{"Baseline", "Software(Ideal)", "PIMnet"}
 	var t1, t2 *report.Table
-	ar, t1, err = CollectiveScaling(collective.AllReduce, collective.Sum, counts, names)
+	ar, t1, err = CollectiveScaling(collective.AllReduce, collective.Sum, counts, names, opts...)
 	if err != nil {
 		return
 	}
-	a2a, t2, err = CollectiveScaling(collective.AllToAll, collective.Sum, counts, names)
+	a2a, t2, err = CollectiveScaling(collective.AllToAll, collective.Sum, counts, names, opts...)
 	if err != nil {
 		return
 	}
@@ -176,16 +206,16 @@ func Fig3Scalability() (ar, a2a []ScalingPoint, tables []*report.Table, err erro
 }
 
 // Fig12CollectiveScaling reproduces Fig. 12 with all five designs.
-func Fig12CollectiveScaling() (ar, a2a []ScalingPoint, tables []*report.Table, err error) {
+func Fig12CollectiveScaling(opts ...sweep.Option) (ar, a2a []ScalingPoint, tables []*report.Table, err error) {
 	counts := []int{8, 16, 32, 64, 128, 256}
 	var t1, t2 *report.Table
 	ar, t1, err = CollectiveScaling(collective.AllReduce, collective.Sum, counts,
-		[]string{"Baseline", "Software(Ideal)", "DIMM-Link", "PIMnet"})
+		[]string{"Baseline", "Software(Ideal)", "DIMM-Link", "PIMnet"}, opts...)
 	if err != nil {
 		return
 	}
 	a2a, t2, err = CollectiveScaling(collective.AllToAll, collective.Sum, counts,
-		[]string{"Baseline", "Software(Ideal)", "NDPBridge", "DIMM-Link", "PIMnet"})
+		[]string{"Baseline", "Software(Ideal)", "NDPBridge", "DIMM-Link", "PIMnet"}, opts...)
 	if err != nil {
 		return
 	}
@@ -213,10 +243,18 @@ func (a AppResult) Speedup(b string) float64 {
 	return float64(base.Total) / float64(r.Total)
 }
 
+// appCell is one workload's sweep-point result for Fig. 10.
+type appCell struct {
+	res AppResult
+	row []string
+}
+
 // Fig10Applications runs the eight workloads on all five backends.
 // scaled selects the fast, reduced inputs (tests); the harness uses
-// paper-sized inputs.
-func Fig10Applications(scaled bool) ([]AppResult, *report.Table, error) {
+// paper-sized inputs. Workloads run as parallel sweep points; the suite is
+// built once up front (workload definitions are read-only during runs) and
+// every point constructs its own backends and machines.
+func Fig10Applications(scaled bool, opts ...sweep.Option) ([]AppResult, *report.Table, error) {
 	sys, err := config.Default().WithDPUs(256)
 	if err != nil {
 		return nil, nil, err
@@ -225,33 +263,38 @@ func Fig10Applications(scaled bool) ([]AppResult, *report.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	b, s, nb, d, p, err := backendsFor(sys)
-	if err != nil {
-		return nil, nil, err
-	}
-	order := []backend.Backend{b, s, nb, d, p}
-	tbl := report.New("Fig. 10 — application performance (speedup over Baseline; comm fraction)",
-		"workload", "Baseline", "Software(Ideal)", "NDPBridge", "DIMM-Link", "PIMnet")
-	var out []AppResult
-	for _, wl := range suite {
-		ar := AppResult{Workload: wl.Name, Reports: map[string]machine.Report{}}
-		row := []string{wl.Name}
-		for _, be := range order {
+	cells, _, err := sweep.Run(suite, func(ctx *sweep.Context, wl machine.Workload) (appCell, error) {
+		b, s, nb, d, p, err := backendsFor(sys, ctx.Cache)
+		if err != nil {
+			return appCell{}, err
+		}
+		cell := appCell{res: AppResult{Workload: wl.Name, Reports: map[string]machine.Report{}},
+			row: []string{wl.Name}}
+		for _, be := range []backend.Backend{b, s, nb, d, p} {
 			m, err := machine.New(sys, be)
 			if err != nil {
-				return nil, nil, err
+				return appCell{}, err
 			}
 			rep, err := m.Run(wl)
 			if err != nil {
-				row = append(row, "n/a")
+				cell.row = append(cell.row, "n/a")
 				continue
 			}
-			ar.Reports[be.Name()] = rep
-			row = append(row, fmt.Sprintf("%s (cf %s)",
-				report.Speedup(ar.Speedup(be.Name())), report.Pct(rep.CommFraction())))
+			cell.res.Reports[be.Name()] = rep
+			cell.row = append(cell.row, fmt.Sprintf("%s (cf %s)",
+				report.Speedup(cell.res.Speedup(be.Name())), report.Pct(rep.CommFraction())))
 		}
-		out = append(out, ar)
-		tbl.AddRow(row...)
+		return cell, nil
+	}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New("Fig. 10 — application performance (speedup over Baseline; comm fraction)",
+		"workload", "Baseline", "Software(Ideal)", "NDPBridge", "DIMM-Link", "PIMnet")
+	var out []AppResult
+	for _, cell := range cells {
+		out = append(out, cell.res)
+		tbl.AddRow(cell.row...)
 	}
 	return out, tbl, nil
 }
@@ -268,8 +311,15 @@ type CommBreakdownRow struct {
 	Fractions   map[string]float64 // inter-bank/chip/rank/sync/mem shares
 }
 
-// Fig11CommBreakdown reproduces the communication-time analysis.
-func Fig11CommBreakdown(scaled bool) ([]CommBreakdownRow, *report.Table, error) {
+// commCell is one workload's sweep-point result for Fig. 11.
+type commCell struct {
+	res CommBreakdownRow
+	row []string
+}
+
+// Fig11CommBreakdown reproduces the communication-time analysis. Workloads
+// run as parallel sweep points, each against its own backend pair.
+func Fig11CommBreakdown(scaled bool, opts ...sweep.Option) ([]CommBreakdownRow, *report.Table, error) {
 	sys, err := config.Default().WithDPUs(256)
 	if err != nil {
 		return nil, nil, err
@@ -278,15 +328,12 @@ func Fig11CommBreakdown(scaled bool) ([]CommBreakdownRow, *report.Table, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	_, _, nb, d, p, err := backendsFor(sys)
-	if err != nil {
-		return nil, nil, err
-	}
-	tbl := report.New("Fig. 11 — PIM communication breakdown (PIMnet) and speedup vs prior work",
-		"workload", "ref", "comm speedup", "inter-bank", "inter-chip", "inter-rank", "sync", "mem")
-	var rows []CommBreakdownRow
 	comps := []metrics.Component{metrics.InterBank, metrics.InterChip, metrics.InterRank, metrics.Sync, metrics.Mem}
-	for _, wl := range suite {
+	cells, _, err := sweep.Run(suite, func(ctx *sweep.Context, wl machine.Workload) (commCell, error) {
+		_, _, nb, d, p, err := backendsFor(sys, ctx.Cache)
+		if err != nil {
+			return commCell{}, err
+		}
 		ref := d
 		if wl.Name == "NTT" || wl.Name == "Join" {
 			ref = nb
@@ -294,12 +341,12 @@ func Fig11CommBreakdown(scaled bool) ([]CommBreakdownRow, *report.Table, error) 
 		mp, _ := machine.New(sys, p)
 		pr, err := mp.Run(wl)
 		if err != nil {
-			return nil, nil, err
+			return commCell{}, err
 		}
 		mr, _ := machine.New(sys, ref)
 		rr, err := mr.Run(wl)
 		if err != nil {
-			return nil, nil, err
+			return commCell{}, err
 		}
 		row := CommBreakdownRow{Workload: wl.Name, Reference: ref.Name(),
 			PIMnetComm: pr.Breakdown.CommTotal(), RefComm: rr.Breakdown.CommTotal(),
@@ -307,17 +354,27 @@ func Fig11CommBreakdown(scaled bool) ([]CommBreakdownRow, *report.Table, error) 
 		if row.PIMnetComm > 0 {
 			row.CommSpeedup = float64(row.RefComm) / float64(row.PIMnetComm)
 		}
-		cells := []string{wl.Name, ref.Name(), report.Speedup(row.CommSpeedup)}
+		cell := commCell{row: []string{wl.Name, ref.Name(), report.Speedup(row.CommSpeedup)}}
 		for _, c := range comps {
 			frac := 0.0
 			if row.PIMnetComm > 0 {
 				frac = float64(pr.Breakdown.Get(c)) / float64(row.PIMnetComm)
 			}
 			row.Fractions[c.String()] = frac
-			cells = append(cells, report.Pct(frac))
+			cell.row = append(cell.row, report.Pct(frac))
 		}
-		rows = append(rows, row)
-		tbl.AddRow(cells...)
+		cell.res = row
+		return cell, nil
+	}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New("Fig. 11 — PIM communication breakdown (PIMnet) and speedup vs prior work",
+		"workload", "ref", "comm speedup", "inter-bank", "inter-chip", "inter-rank", "sync", "mem")
+	var rows []CommBreakdownRow
+	for _, cell := range cells {
+		rows = append(rows, cell.res)
+		tbl.AddRow(cell.row...)
 	}
 	return rows, tbl, nil
 }
@@ -381,7 +438,7 @@ type BWPoint struct {
 }
 
 // Fig14BankBandwidth sweeps the inter-bank channel bandwidth (Fig. 14a).
-func Fig14BankBandwidth() ([]BWPoint, *report.Table, error) {
+func Fig14BankBandwidth(opts ...sweep.Option) ([]BWPoint, *report.Table, error) {
 	sys, err := config.Default().WithDPUs(256)
 	if err != nil {
 		return nil, nil, err
@@ -395,63 +452,71 @@ func Fig14BankBandwidth() ([]BWPoint, *report.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	pts, _, err := sweep.Run([]float64{0.1, 0.2, 0.4, 0.7, 1.0},
+		func(ctx *sweep.Context, gbps float64) (BWPoint, error) {
+			p, err := core.NewPIMnet(sys)
+			if err != nil {
+				return BWPoint{}, err
+			}
+			p.WithPlanCache(ctx.Cache).Network().ScaleBankBandwidth(gbps * config.GBps)
+			pres, err := p.Collective(req)
+			if err != nil {
+				return BWPoint{}, err
+			}
+			return BWPoint{Param: gbps, PIMnet: pres.Time, DIMM: dres.Time,
+				Speedup: float64(dres.Time) / float64(pres.Time)}, nil
+		}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
 	tbl := report.New("Fig. 14(a) — AllReduce vs inter-bank channel bandwidth",
 		"GB/s per channel", "PIMnet", "DIMM-Link", "speedup")
-	var pts []BWPoint
-	for _, gbps := range []float64{0.1, 0.2, 0.4, 0.7, 1.0} {
-		p, err := core.NewPIMnet(sys)
-		if err != nil {
-			return nil, nil, err
-		}
-		p.Network().ScaleBankBandwidth(gbps * config.GBps)
-		pres, err := p.Collective(req)
-		if err != nil {
-			return nil, nil, err
-		}
-		pt := BWPoint{Param: gbps, PIMnet: pres.Time, DIMM: dres.Time,
-			Speedup: float64(dres.Time) / float64(pres.Time)}
-		pts = append(pts, pt)
-		tbl.AddRow(report.F(gbps), pres.Time.String(), dres.Time.String(), report.Speedup(pt.Speedup))
+	for _, pt := range pts {
+		tbl.AddRow(report.F(pt.Param), pt.PIMnet.String(), pt.DIMM.String(), report.Speedup(pt.Speedup))
 	}
 	return pts, tbl, nil
 }
 
 // Fig14GlobalBandwidth sweeps the inter-chip/inter-rank bandwidth scale
 // (Fig. 14b), with the inter-bank tier fixed at 0.7 GB/s.
-func Fig14GlobalBandwidth() ([]BWPoint, *report.Table, error) {
+func Fig14GlobalBandwidth(opts ...sweep.Option) ([]BWPoint, *report.Table, error) {
 	sys, err := config.Default().WithDPUs(256)
 	if err != nil {
 		return nil, nil, err
 	}
 	req := request(collective.AllReduce, collective.Sum, 256)
+	pts, _, err := sweep.Run([]float64{0.25, 0.5, 1, 2, 4},
+		func(ctx *sweep.Context, scale float64) (BWPoint, error) {
+			p, err := core.NewPIMnet(sys)
+			if err != nil {
+				return BWPoint{}, err
+			}
+			p.WithPlanCache(ctx.Cache).Network().ScaleGlobalBandwidth(scale)
+			pres, err := p.Collective(req)
+			if err != nil {
+				return BWPoint{}, err
+			}
+			// DIMM-Link's dedicated links scale with the same global budget.
+			dsys := sys
+			dsys.Net.RankBusBW *= scale
+			d, err := baselines.NewDIMMLink(dsys)
+			if err != nil {
+				return BWPoint{}, err
+			}
+			dres, err := d.Collective(req)
+			if err != nil {
+				return BWPoint{}, err
+			}
+			return BWPoint{Param: scale, PIMnet: pres.Time, DIMM: dres.Time,
+				Speedup: float64(dres.Time) / float64(pres.Time)}, nil
+		}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
 	tbl := report.New("Fig. 14(b) — AllReduce vs global (inter-chip/rank) bandwidth scale",
 		"scale", "PIMnet", "DIMM-Link", "speedup")
-	var pts []BWPoint
-	for _, scale := range []float64{0.25, 0.5, 1, 2, 4} {
-		p, err := core.NewPIMnet(sys)
-		if err != nil {
-			return nil, nil, err
-		}
-		p.Network().ScaleGlobalBandwidth(scale)
-		pres, err := p.Collective(req)
-		if err != nil {
-			return nil, nil, err
-		}
-		// DIMM-Link's dedicated links scale with the same global budget.
-		dsys := sys
-		dsys.Net.RankBusBW *= scale
-		d, err := baselines.NewDIMMLink(dsys)
-		if err != nil {
-			return nil, nil, err
-		}
-		dres, err := d.Collective(req)
-		if err != nil {
-			return nil, nil, err
-		}
-		pt := BWPoint{Param: scale, PIMnet: pres.Time, DIMM: dres.Time,
-			Speedup: float64(dres.Time) / float64(pres.Time)}
-		pts = append(pts, pt)
-		tbl.AddRow(report.F(scale), pres.Time.String(), dres.Time.String(), report.Speedup(pt.Speedup))
+	for _, pt := range pts {
+		tbl.AddRow(report.F(pt.Param), pt.PIMnet.String(), pt.DIMM.String(), report.Speedup(pt.Speedup))
 	}
 	return pts, tbl, nil
 }
@@ -467,42 +532,58 @@ type AltPIMRow struct {
 
 // Fig15AltPIM scales the PIM compute throughput to HBM-PIM and GDDR6-AiM
 // class MAC rates and re-measures PIMnet's benefit on the two most
-// compute-bound workloads (MLP, NTT).
-func Fig15AltPIM(scaled bool) ([]AltPIMRow, *report.Table, error) {
+// compute-bound workloads (MLP, NTT). The (workload, scale) grid runs as
+// parallel sweep points.
+func Fig15AltPIM(scaled bool, opts ...sweep.Option) ([]AltPIMRow, *report.Table, error) {
+	names := []string{"MLP", "NTT"}
+	scales := []float64{1, 10, 180}
+	type cell struct {
+		name  string
+		scale float64
+	}
+	var grid []cell
+	for _, name := range names {
+		for _, sc := range scales {
+			grid = append(grid, cell{name, sc})
+		}
+	}
+	rows, _, err := sweep.Run(grid, func(ctx *sweep.Context, c cell) (AltPIMRow, error) {
+		sys, err := config.Default().WithDPUs(256)
+		if err != nil {
+			return AltPIMRow{}, err
+		}
+		sys.DPU.ComputeScale = c.scale
+		wl, err := buildOne(c.name, scaled)
+		if err != nil {
+			return AltPIMRow{}, err
+		}
+		b, _ := host.NewBaseline(sys)
+		p, err := core.NewPIMnet(sys)
+		if err != nil {
+			return AltPIMRow{}, err
+		}
+		p.WithPlanCache(ctx.Cache)
+		mb, _ := machine.New(sys, b)
+		mp, _ := machine.New(sys, p)
+		rb, err := mb.Run(wl)
+		if err != nil {
+			return AltPIMRow{}, err
+		}
+		rp, err := mp.Run(wl)
+		if err != nil {
+			return AltPIMRow{}, err
+		}
+		return AltPIMRow{Workload: c.name, Scale: c.scale, Speedup: machine.Speedup(rb, rp)}, nil
+	}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
 	tbl := report.New("Fig. 15 — PIMnet benefit with alternative PIM compute",
 		"workload", "UPMEM (1x)", "HBM-PIM (~10x)", "GDDR6-AiM (180x)")
-	scales := []float64{1, 10, 180}
-	var rows []AltPIMRow
-	for _, name := range []string{"MLP", "NTT"} {
+	for i, name := range names {
 		cells := []string{name}
-		for _, sc := range scales {
-			sys, err := config.Default().WithDPUs(256)
-			if err != nil {
-				return nil, nil, err
-			}
-			sys.DPU.ComputeScale = sc
-			wl, err := buildOne(name, scaled)
-			if err != nil {
-				return nil, nil, err
-			}
-			b, _ := host.NewBaseline(sys)
-			p, err := core.NewPIMnet(sys)
-			if err != nil {
-				return nil, nil, err
-			}
-			mb, _ := machine.New(sys, b)
-			mp, _ := machine.New(sys, p)
-			rb, err := mb.Run(wl)
-			if err != nil {
-				return nil, nil, err
-			}
-			rp, err := mp.Run(wl)
-			if err != nil {
-				return nil, nil, err
-			}
-			sp := machine.Speedup(rb, rp)
-			rows = append(rows, AltPIMRow{Workload: name, Scale: sc, Speedup: sp})
-			cells = append(cells, report.Speedup(sp))
+		for j := range scales {
+			cells = append(cells, report.Speedup(rows[i*len(scales)+j].Speedup))
 		}
 		tbl.AddRow(cells...)
 	}
@@ -543,35 +624,47 @@ type ChannelPoint struct {
 }
 
 // Fig16ChannelScaling measures EMB_Synth speedup as channels grow.
-func Fig16ChannelScaling() ([]ChannelPoint, *report.Table, error) {
-	tbl := report.New("Fig. 16 — EMB_Synth speedup vs memory channels",
-		"channels", "Baseline", "PIMnet", "speedup")
-	var pts []ChannelPoint
-	for _, ch := range []int{1, 2, 4, 8} {
+func Fig16ChannelScaling(opts ...sweep.Option) ([]ChannelPoint, *report.Table, error) {
+	type cell struct {
+		pt  ChannelPoint
+		row []string
+	}
+	cells, _, err := sweep.Run([]int{1, 2, 4, 8}, func(ctx *sweep.Context, ch int) (cell, error) {
 		sys := config.Default()
 		sys.Channels = ch
 		wl, err := buildOne("EMB", false)
 		if err != nil {
-			return nil, nil, err
+			return cell{}, err
 		}
 		b, _ := host.NewBaseline(sys)
 		p, err := core.NewPIMnet(sys)
 		if err != nil {
-			return nil, nil, err
+			return cell{}, err
 		}
+		p.WithPlanCache(ctx.Cache)
 		mb, _ := machine.New(sys, b)
 		mp, _ := machine.New(sys, p)
 		rb, err := mb.RunMultiChannel(wl)
 		if err != nil {
-			return nil, nil, err
+			return cell{}, err
 		}
 		rp, err := mp.RunMultiChannel(wl)
 		if err != nil {
-			return nil, nil, err
+			return cell{}, err
 		}
 		sp := machine.Speedup(rb, rp)
-		pts = append(pts, ChannelPoint{Channels: ch, Speedup: sp})
-		tbl.AddRow(fmt.Sprintf("%d", ch), rb.Total.String(), rp.Total.String(), report.Speedup(sp))
+		return cell{pt: ChannelPoint{Channels: ch, Speedup: sp},
+			row: []string{fmt.Sprintf("%d", ch), rb.Total.String(), rp.Total.String(), report.Speedup(sp)}}, nil
+	}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.New("Fig. 16 — EMB_Synth speedup vs memory channels",
+		"channels", "Baseline", "PIMnet", "speedup")
+	var pts []ChannelPoint
+	for _, c := range cells {
+		pts = append(pts, c.pt)
+		tbl.AddRow(c.row...)
 	}
 	return pts, tbl, nil
 }

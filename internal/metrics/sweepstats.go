@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// SweepStats summarizes the execution of one parallel experiment sweep: how
+// many points ran on how many workers, real (wall-clock, not simulated)
+// time overall and per point, and how effective the shared compiled-plan
+// cache was. Wall times are measurement metadata — they vary run to run and
+// are deliberately excluded from the deterministic experiment outputs the
+// golden and determinism tests compare.
+type SweepStats struct {
+	Points  int
+	Workers int
+	Wall    time.Duration
+	// PointWall holds each point's wall time, indexed like the sweep's
+	// point slice.
+	PointWall []time.Duration
+	// Compiled-plan cache effectiveness over the sweep's window.
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheEntries int
+}
+
+// HitRate returns the cache hit fraction (0 when the cache saw no lookups).
+func (s SweepStats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// MaxPointWall returns the slowest point's wall time.
+func (s SweepStats) MaxPointWall() time.Duration {
+	var max time.Duration
+	for _, d := range s.PointWall {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MeanPointWall returns the average point wall time.
+func (s SweepStats) MeanPointWall() time.Duration {
+	if len(s.PointWall) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.PointWall {
+		sum += d
+	}
+	return sum / time.Duration(len(s.PointWall))
+}
+
+// Merge folds another sweep's stats into s: points and cache counters add,
+// wall times accumulate, and Workers keeps the largest pool seen. Used by
+// harnesses that run several sweeps and report one aggregate.
+func (s *SweepStats) Merge(other SweepStats) {
+	s.Points += other.Points
+	if other.Workers > s.Workers {
+		s.Workers = other.Workers
+	}
+	s.Wall += other.Wall
+	s.PointWall = append(s.PointWall, other.PointWall...)
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+	if other.CacheEntries > s.CacheEntries {
+		s.CacheEntries = other.CacheEntries
+	}
+}
+
+// String renders a one-line summary.
+func (s SweepStats) String() string {
+	return fmt.Sprintf("%d points on %d workers in %v (max point %v, cache %d/%d hits)",
+		s.Points, s.Workers, s.Wall.Round(time.Microsecond),
+		s.MaxPointWall().Round(time.Microsecond), s.CacheHits, s.CacheHits+s.CacheMisses)
+}

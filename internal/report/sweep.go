@@ -1,0 +1,25 @@
+package report
+
+import (
+	"fmt"
+	"time"
+
+	"pimnet/internal/metrics"
+)
+
+// SweepSummary renders the execution statistics of one or more parallel
+// sweeps: point count, pool size, wall time, per-point wall spread, and
+// compiled-plan cache effectiveness.
+func SweepSummary(s metrics.SweepStats) *Table {
+	tbl := New("Sweep execution summary", "metric", "value")
+	tbl.AddRow("points", fmt.Sprintf("%d", s.Points))
+	tbl.AddRow("workers", fmt.Sprintf("%d", s.Workers))
+	tbl.AddRow("wall time", s.Wall.Round(time.Microsecond).String())
+	tbl.AddRow("mean point wall", s.MeanPointWall().Round(time.Microsecond).String())
+	tbl.AddRow("max point wall", s.MaxPointWall().Round(time.Microsecond).String())
+	tbl.AddRow("plan-cache hits", fmt.Sprintf("%d", s.CacheHits))
+	tbl.AddRow("plan-cache misses", fmt.Sprintf("%d", s.CacheMisses))
+	tbl.AddRow("plan-cache hit rate", Pct(s.HitRate()))
+	tbl.AddRow("plan-cache entries", fmt.Sprintf("%d", s.CacheEntries))
+	return tbl
+}
