@@ -9,7 +9,12 @@ GO ?= go
 COVER_PKGS = ./internal/core ./internal/sweep
 COVER_FLOOR = 80
 
-.PHONY: build test check cover fuzz bench golden
+.PHONY: build test check cover fuzz bench benchcmp profile golden
+
+# Benchmarks gated by the regression check (make benchcmp). Engine covers the
+# event queue, Execute covers the plan-replay hot path.
+GATED_BENCH = Engine|Execute
+GATED_PKGS = ./internal/sim ./internal/core
 
 build:
 	$(GO) build ./...
@@ -18,9 +23,16 @@ test:
 	$(GO) test ./...
 
 # The CI gate: static analysis, the race-enabled suite, and the coverage
-# floor must all pass.
+# floor must all pass. The benchmark-regression gate runs soft by default
+# (benchmarks are noisy on shared machines); set BENCH_STRICT=1 to make a
+# regression fail the build.
 check:
 	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) cover
+	@if [ "$(BENCH_STRICT)" = "1" ]; then \
+		$(MAKE) benchcmp; \
+	else \
+		$(MAKE) benchcmp || echo "WARNING: benchmark regression (soft gate; set BENCH_STRICT=1 to fail)"; \
+	fi
 
 # Per-package coverage floor: fail if any COVER_PKGS package drops below
 # COVER_FLOOR percent of statements.
@@ -42,6 +54,28 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmark-regression gate: run the gated suite, emit bench.json, and
+# compare against the committed baseline. Fails on >10% latency regression
+# or any allocs/op increase. Refresh the baseline after an intentional
+# performance change with:
+#	make benchcmp BENCH_BASELINE=BENCH_baseline.json BENCH_EMIT_ONLY=1
+BENCH_BASELINE ?= BENCH_baseline.json
+benchcmp:
+	$(GO) test -run NONE -bench '$(GATED_BENCH)' -benchmem -count=3 $(GATED_PKGS) \
+		| $(GO) run ./cmd/benchcmp -emit bench.json
+	@if [ "$(BENCH_EMIT_ONLY)" = "1" ]; then \
+		cp bench.json $(BENCH_BASELINE); echo "baseline refreshed: $(BENCH_BASELINE)"; \
+	else \
+		$(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) -current bench.json; \
+	fi
+
+# CPU + heap profiles of the 2560-DPU allreduce sweep, the paper-scale
+# configuration that dominates pimnetbench wall time. Inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile: build
+	$(GO) run ./cmd/pimnetsim -sweep -sweep-dpus 2560 -sweep-bytes 32768 \
+		-pattern allreduce -cpuprofile cpu.pprof -memprofile mem.pprof
 
 # Regenerate the golden-trace corpus after an intentional compiler or
 # executor change; review the diff before committing.

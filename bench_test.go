@@ -19,6 +19,7 @@ import (
 )
 
 func BenchmarkFig02Roofline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig2Roofline()
 		if err != nil {
@@ -29,6 +30,7 @@ func BenchmarkFig02Roofline(b *testing.B) {
 }
 
 func BenchmarkFig03Scalability(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ar, _, _, err := experiments.Fig3Scalability()
 		if err != nil {
@@ -43,6 +45,7 @@ func BenchmarkFig03Scalability(b *testing.B) {
 }
 
 func BenchmarkTab04TierBandwidth(b *testing.B) {
+	b.ReportAllocs()
 	// The aggregate per-rank PIMnet bandwidth of Table IV / Section IV-B:
 	// 2.8 GB/s per bank x 64 banks = 179.2 GB/s.
 	sys := pimnet.DefaultSystem()
@@ -52,6 +55,7 @@ func BenchmarkTab04TierBandwidth(b *testing.B) {
 }
 
 func BenchmarkFig10Applications(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		apps, _, err := experiments.Fig10Applications(true)
 		if err != nil {
@@ -66,6 +70,7 @@ func BenchmarkFig10Applications(b *testing.B) {
 }
 
 func BenchmarkFig11CommBreakdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig11CommBreakdown(true)
 		if err != nil {
@@ -82,6 +87,7 @@ func BenchmarkFig11CommBreakdown(b *testing.B) {
 }
 
 func BenchmarkFig12CollectiveScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, a2a, _, err := experiments.Fig12CollectiveScaling()
 		if err != nil {
@@ -96,6 +102,7 @@ func BenchmarkFig12CollectiveScaling(b *testing.B) {
 }
 
 func BenchmarkFig13FlowControl(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig13FlowControl()
 		if err != nil {
@@ -107,6 +114,7 @@ func BenchmarkFig13FlowControl(b *testing.B) {
 }
 
 func BenchmarkFig14BandwidthScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, _, err := experiments.Fig14BankBandwidth()
 		if err != nil {
@@ -122,6 +130,7 @@ func BenchmarkFig14BandwidthScaling(b *testing.B) {
 }
 
 func BenchmarkFig15AltPIM(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig15AltPIM(true)
 		if err != nil {
@@ -136,6 +145,7 @@ func BenchmarkFig15AltPIM(b *testing.B) {
 }
 
 func BenchmarkFig16ChannelScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, _, err := experiments.Fig16ChannelScaling()
 		if err != nil {
@@ -146,6 +156,7 @@ func BenchmarkFig16ChannelScaling(b *testing.B) {
 }
 
 func BenchmarkFig17MultiTenancy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig17MultiTenancy()
 		if err != nil {
@@ -156,6 +167,7 @@ func BenchmarkFig17MultiTenancy(b *testing.B) {
 }
 
 func BenchmarkHWOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, _ := experiments.HWOverhead()
 		b.ReportMetric(r.RouterToStopRatio, "router/stop-area")
@@ -167,6 +179,7 @@ func BenchmarkHWOverhead(b *testing.B) {
 // 256-DPU AllReduce compiles and executes (plan building, contention
 // checking, resource reservation).
 func BenchmarkPIMnetAllReduce(b *testing.B) {
+	b.ReportAllocs()
 	sys, err := pimnet.DefaultSystem().WithDPUs(256)
 	if err != nil {
 		b.Fatal(err)
@@ -188,6 +201,7 @@ func BenchmarkPIMnetAllReduce(b *testing.B) {
 // BenchmarkPIMnetAllToAll measures the simulator on the densest plan
 // (65k-block personalized exchange).
 func BenchmarkPIMnetAllToAll(b *testing.B) {
+	b.ReportAllocs()
 	sys, err := pimnet.DefaultSystem().WithDPUs(256)
 	if err != nil {
 		b.Fatal(err)
@@ -209,6 +223,7 @@ func BenchmarkPIMnetAllToAll(b *testing.B) {
 // BenchmarkHierarchicalAllReduceVerify measures the data-level oracle on
 // the full 256-node hierarchy (the correctness path, not the timing path).
 func BenchmarkHierarchicalAllReduceVerify(b *testing.B) {
+	b.ReportAllocs()
 	d := collective.NewData(256, 1024, 42)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -220,6 +235,7 @@ func BenchmarkHierarchicalAllReduceVerify(b *testing.B) {
 }
 
 func BenchmarkAblationFlatVsHierarchical(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.AblationFlatVsHierarchical()
 		if err != nil {
@@ -230,6 +246,7 @@ func BenchmarkAblationFlatVsHierarchical(b *testing.B) {
 }
 
 func BenchmarkAblationSyncSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.AblationSyncSensitivity()
 		if err != nil {
@@ -240,6 +257,7 @@ func BenchmarkAblationSyncSensitivity(b *testing.B) {
 }
 
 func BenchmarkAblationWRAMStaging(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.AblationWRAMStaging()
 		if err != nil {
@@ -250,6 +268,7 @@ func BenchmarkAblationWRAMStaging(b *testing.B) {
 }
 
 func BenchmarkAblationNocParameters(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.AblationNocParameters()
 		if err != nil {
@@ -266,6 +285,7 @@ func BenchmarkAblationNocParameters(b *testing.B) {
 }
 
 func BenchmarkAblationInterChannel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.AblationInterChannel()
 		if err != nil {

@@ -1,0 +1,153 @@
+// Command benchcmp is the two halves of the benchmark-regression harness:
+//
+//	go test -bench 'Engine|Execute' -benchmem ./... | benchcmp -emit bench.json
+//	benchcmp -baseline BENCH_baseline.json -current bench.json
+//
+// -emit parses `go test -bench` output from stdin into the machine-readable
+// suite format (internal/benchfmt) and writes it to the named file ("-" for
+// stdout). The compare mode loads two suites and applies the gate policy to
+// every benchmark whose key matches -match: it exits 1 when latency regresses
+// beyond -latency-tol or allocs/op increases at all, and prints a
+// benchstat-style delta table either way. Benchmarks present in only one
+// suite are listed but never fail the gate.
+//
+// make benchcmp wires this into the build: soft (warning) in a normal
+// `make check`, hard-failing under BENCH_STRICT=1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+
+	"pimnet/internal/benchfmt"
+)
+
+func main() {
+	var o options
+	flag.StringVar(&o.emit, "emit", "", "parse `go test -bench` output from stdin and write the JSON suite to this file (\"-\" = stdout)")
+	flag.StringVar(&o.baseline, "baseline", "", "baseline suite JSON (compare mode)")
+	flag.StringVar(&o.current, "current", "", "current suite JSON (compare mode)")
+	flag.StringVar(&o.match, "match", `\.Benchmark(Engine|Execute)`, "regexp selecting the gated benchmark keys (pkg.Name)")
+	flag.Float64Var(&o.latencyTol, "latency-tol", 0.10, "allowed fractional latency regression before the gate fails")
+	flag.Parse()
+
+	code, err := run(o, os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+// options carries the parsed command line into run.
+type options struct {
+	emit       string
+	baseline   string
+	current    string
+	match      string
+	latencyTol float64
+}
+
+// run executes one invocation and returns the process exit code: 0 clean,
+// 1 gate violation, 2 usage or I/O error.
+func run(o options, in io.Reader, out io.Writer) (int, error) {
+	switch {
+	case o.emit != "" && (o.baseline != "" || o.current != ""):
+		return 2, fmt.Errorf("-emit and -baseline/-current are separate modes")
+	case o.emit != "":
+		return emit(o.emit, in, out)
+	case o.baseline == "" || o.current == "":
+		return 2, fmt.Errorf("need either -emit, or both -baseline and -current")
+	}
+	return compare(o, out)
+}
+
+func emit(path string, in io.Reader, out io.Writer) (int, error) {
+	suite, err := benchfmt.Parse(in)
+	if err != nil {
+		return 2, err
+	}
+	if len(suite.Benchmarks) == 0 {
+		return 2, fmt.Errorf("no benchmark results on stdin (did the bench run fail?)")
+	}
+	w := out
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := suite.WriteJSON(w); err != nil {
+		return 2, err
+	}
+	if path != "-" {
+		fmt.Fprintf(out, "wrote %d benchmarks to %s\n", len(suite.Benchmarks), path)
+	}
+	return 0, nil
+}
+
+func loadSuite(path string) (*benchfmt.Suite, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchfmt.ReadJSON(f)
+}
+
+func compare(o options, out io.Writer) (int, error) {
+	match, err := regexp.Compile(o.match)
+	if err != nil {
+		return 2, fmt.Errorf("-match: %v", err)
+	}
+	base, err := loadSuite(o.baseline)
+	if err != nil {
+		return 2, err
+	}
+	cur, err := loadSuite(o.current)
+	if err != nil {
+		return 2, err
+	}
+	deltas := benchfmt.Compare(base, cur, match, o.latencyTol)
+	if len(deltas) == 0 {
+		return 2, fmt.Errorf("no benchmarks match %q in either suite", o.match)
+	}
+
+	fmt.Fprintf(out, "%-45s %14s %14s %9s %16s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "allocs/op")
+	for _, d := range deltas {
+		switch {
+		case d.Old == nil:
+			fmt.Fprintf(out, "%-45s %14s %14.0f %9s %16s\n", d.Key, "(new)", d.New.NsPerOp, "", allocs(d.New))
+		case d.New == nil:
+			fmt.Fprintf(out, "%-45s %14.0f %14s %9s %16s\n", d.Key, d.Old.NsPerOp, "(gone)", "", "")
+		default:
+			mark := ""
+			if d.Regressed != "" {
+				mark = "  REGRESSED: " + d.Regressed
+			}
+			fmt.Fprintf(out, "%-45s %14.0f %14.0f %8.2fx %16s%s\n",
+				d.Key, d.Old.NsPerOp, d.New.NsPerOp, d.Speedup,
+				allocs(d.Old)+" -> "+allocs(d.New), mark)
+		}
+	}
+	if regs := benchfmt.Regressions(deltas); len(regs) > 0 {
+		fmt.Fprintf(out, "\n%d benchmark(s) regressed beyond the gate\n", len(regs))
+		return 1, nil
+	}
+	fmt.Fprintln(out, "\nbenchmark gate clean")
+	return 0, nil
+}
+
+func allocs(b *benchfmt.Benchmark) string {
+	if b.AllocsPerOp < 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%.0f", b.AllocsPerOp)
+}

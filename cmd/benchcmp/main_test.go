@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `pkg: pimnet/internal/sim
+BenchmarkEngineScheduleHeavy-8	2000	600000 ns/op	131072 B/op	4096 allocs/op
+ok  	pimnet/internal/sim	2.5s
+`
+
+const fasterOutput = `pkg: pimnet/internal/sim
+BenchmarkEngineScheduleHeavy-8	8000	200000 ns/op	0 B/op	0 allocs/op
+ok  	pimnet/internal/sim	2.5s
+`
+
+const slowerOutput = `pkg: pimnet/internal/sim
+BenchmarkEngineScheduleHeavy-8	1000	900000 ns/op	131072 B/op	4096 allocs/op
+ok  	pimnet/internal/sim	2.5s
+`
+
+// emitFile runs -emit over raw bench output and returns the JSON path.
+func emitFile(t *testing.T, name, raw string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	var out bytes.Buffer
+	code, err := run(options{emit: path}, strings.NewReader(raw), &out)
+	if err != nil || code != 0 {
+		t.Fatalf("emit: code=%d err=%v", code, err)
+	}
+	return path
+}
+
+func TestEmitAndCompareImprovement(t *testing.T) {
+	base := emitFile(t, "base.json", benchOutput)
+	cur := emitFile(t, "cur.json", fasterOutput)
+	var out bytes.Buffer
+	code, err := run(options{baseline: base, current: cur,
+		match: `\.Benchmark(Engine|Execute)`, latencyTol: 0.10}, nil, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("improvement failed the gate: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "3.00x") {
+		t.Fatalf("speedup not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	base := emitFile(t, "base.json", benchOutput)
+	cur := emitFile(t, "cur.json", slowerOutput)
+	var out bytes.Buffer
+	code, err := run(options{baseline: base, current: cur,
+		match: `\.Benchmark(Engine|Execute)`, latencyTol: 0.10}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("50%% latency regression exited %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("regression not flagged:\n%s", out.String())
+	}
+}
+
+func TestEmitRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(options{emit: "-"}, strings.NewReader("no benchmarks here\n"), &out)
+	if err == nil || code != 2 {
+		t.Fatalf("empty bench output accepted: code=%d err=%v", code, err)
+	}
+}
+
+func TestRunRejectsModeMix(t *testing.T) {
+	if code, err := run(options{emit: "-", baseline: "x"}, nil, os.Stdout); err == nil || code != 2 {
+		t.Fatal("mixed modes accepted")
+	}
+	if code, err := run(options{}, nil, os.Stdout); err == nil || code != 2 {
+		t.Fatal("missing flags accepted")
+	}
+}

@@ -10,6 +10,7 @@
 //	pimnetbench -csv         # machine-readable output
 //	pimnetbench -workers 8   # bound the sweep worker pool (0 = GOMAXPROCS)
 //	pimnetbench -stats       # append a sweep execution/cache summary
+//	pimnetbench -cpuprofile cpu.pprof -memprofile mem.pprof -trace trace.out
 //
 // Experiment points fan out over a bounded goroutine pool (internal/sweep)
 // and share one compiled-plan cache, so repeated configurations bind cached
@@ -26,6 +27,7 @@ import (
 	"pimnet/internal/core"
 	"pimnet/internal/experiments"
 	"pimnet/internal/metrics"
+	"pimnet/internal/profiling"
 	"pimnet/internal/report"
 	"pimnet/internal/sweep"
 )
@@ -36,10 +38,22 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print sweep execution and plan-cache statistics")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to `file`")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to `file`")
 	flag.Parse()
 
-	err := run(options{fig: *fig, scaled: *scaled, csv: *csv,
+	stop, err := profiling.Start(profiling.Config{
+		CPUProfile: *cpuprofile, MemProfile: *memprofile, Trace: *traceOut})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimnetbench:", err)
+		os.Exit(1)
+	}
+	err = run(options{fig: *fig, scaled: *scaled, csv: *csv,
 		workers: *workers, stats: *stats, out: os.Stdout})
+	if perr := stop(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimnetbench:", err)
 		os.Exit(1)

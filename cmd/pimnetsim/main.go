@@ -9,6 +9,7 @@
 //	pimnetsim -plan -pattern allreduce -dpus 64   # dump the compiled schedule
 //	pimnetsim -faults fail-chip=1 -fault-seed 7 -pattern allreduce -dpus 256
 //	pimnetsim -sweep -sweep-dpus 64,256 -sweep-bytes 4096,32768 -workers 4
+//	pimnetsim -sweep -cpuprofile cpu.pprof -memprofile mem.pprof -trace trace.out
 //
 // -sweep runs the selected backend and pattern over the cross product of
 // -sweep-dpus and -sweep-bytes on a bounded goroutine pool (internal/sweep),
@@ -34,6 +35,7 @@ import (
 	"pimnet/internal/collective"
 	"pimnet/internal/core"
 	"pimnet/internal/metrics"
+	"pimnet/internal/profiling"
 	"pimnet/internal/report"
 	"pimnet/internal/sweep"
 )
@@ -73,6 +75,9 @@ type options struct {
 	sweepDPUs  string
 	sweepBytes string
 	workers    int
+	cpuprofile string
+	memprofile string
+	traceOut   string
 }
 
 func main() {
@@ -91,27 +96,33 @@ func main() {
 	flag.StringVar(&o.sweepDPUs, "sweep-dpus", "64,256", "comma-separated DPU populations for -sweep")
 	flag.StringVar(&o.sweepBytes, "sweep-bytes", "4096,32768", "comma-separated payload sizes (bytes per DPU) for -sweep")
 	flag.IntVar(&o.workers, "workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a pprof heap profile (post-GC) to `file`")
+	flag.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to `file`")
 	flag.Parse()
 
 	if err := validate(o); err != nil {
 		fmt.Fprintln(os.Stderr, "pimnetsim:", err)
 		os.Exit(2)
 	}
-	if o.plan {
-		if err := dumpPlan(o.pattern, o.bytes, o.dpus); err != nil {
-			fmt.Fprintln(os.Stderr, "pimnetsim:", err)
-			os.Exit(1)
-		}
-		return
+	stop, err := profiling.Start(profiling.Config{
+		CPUProfile: o.cpuprofile, MemProfile: o.memprofile, Trace: o.traceOut})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimnetsim:", err)
+		os.Exit(1)
 	}
-	if o.sweepMode {
-		if err := runSweep(o); err != nil {
-			fmt.Fprintln(os.Stderr, "pimnetsim:", err)
-			os.Exit(1)
-		}
-		return
+	switch {
+	case o.plan:
+		err = dumpPlan(o.pattern, o.bytes, o.dpus)
+	case o.sweepMode:
+		err = runSweep(o)
+	default:
+		err = run(o)
 	}
-	if err := run(o); err != nil {
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimnetsim:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,246 @@
+// Package benchfmt parses `go test -bench` output into a machine-readable
+// suite, serializes it as JSON (the BENCH_*.json trajectory files), and
+// compares two suites benchstat-style for the regression gate.
+//
+// The comparison policy is the repo's performance contract (ISSUE 3): on the
+// gated benchmarks a run fails when latency regresses by more than the
+// tolerance (10% by default) or when allocs/op regresses at all — alloc
+// counts are deterministic, so any increase is a real code change, never
+// noise.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's aggregated measurements. Repeated runs of the
+// same benchmark (go test -count) are averaged during parsing.
+type Benchmark struct {
+	// Name is the benchmark function name with the -GOMAXPROCS suffix
+	// stripped, e.g. "BenchmarkEngineScheduleHeavy".
+	Name string `json:"name"`
+	// Pkg is the import path the benchmark ran in (from the `pkg:` header).
+	Pkg string `json:"pkg,omitempty"`
+	// Runs is the total iteration count across aggregated lines.
+	Runs int64 `json:"runs"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard testing metrics;
+	// BytesPerOp/AllocsPerOp are -1 when the run lacked -benchmem.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	samples int64 // aggregation count (not serialized)
+}
+
+// Key identifies a benchmark across suites.
+func (b *Benchmark) Key() string { return b.Pkg + "." + b.Name }
+
+// Suite is a parsed benchmark run.
+type Suite struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Lookup returns the benchmark with the given key, or nil.
+func (s *Suite) Lookup(key string) *Benchmark {
+	for i := range s.Benchmarks {
+		if s.Benchmarks[i].Key() == key {
+			return &s.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// maxprocsSuffix matches the -N GOMAXPROCS suffix go test appends to
+// benchmark names.
+var maxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and aggregates it into a Suite.
+// Non-benchmark lines (headers, test output, ok/FAIL trailers) are skipped;
+// `pkg:` headers attribute the benchmarks that follow them.
+func Parse(r io.Reader) (*Suite, error) {
+	s := &Suite{}
+	byKey := map[string]int{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A benchmark result line is "Name iterations (value unit)+".
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:        maxprocsSuffix.ReplaceAllString(fields[0], ""),
+			Pkg:         pkg,
+			Runs:        runs,
+			BytesPerOp:  -1,
+			AllocsPerOp: -1,
+			samples:     1,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		if idx, ok := byKey[b.Key()]; ok {
+			s.Benchmarks[idx].merge(b)
+		} else {
+			byKey[b.Key()] = len(s.Benchmarks)
+			s.Benchmarks = append(s.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	sort.Slice(s.Benchmarks, func(i, j int) bool {
+		return s.Benchmarks[i].Key() < s.Benchmarks[j].Key()
+	})
+	return s, nil
+}
+
+// merge folds another sample of the same benchmark into b (running mean).
+func (b *Benchmark) merge(o Benchmark) {
+	n := float64(b.samples)
+	b.NsPerOp = (b.NsPerOp*n + o.NsPerOp) / (n + 1)
+	if b.BytesPerOp >= 0 && o.BytesPerOp >= 0 {
+		b.BytesPerOp = (b.BytesPerOp*n + o.BytesPerOp) / (n + 1)
+	}
+	if b.AllocsPerOp >= 0 && o.AllocsPerOp >= 0 {
+		// allocs/op is deterministic; keep the max so a single allocating
+		// sample cannot be averaged away below the gate.
+		if o.AllocsPerOp > b.AllocsPerOp {
+			b.AllocsPerOp = o.AllocsPerOp
+		}
+	}
+	for unit, v := range o.Metrics {
+		b.Metrics[unit] = (b.Metrics[unit]*n + v) / (n + 1)
+	}
+	b.Runs += o.Runs
+	b.samples++
+}
+
+// WriteJSON serializes the suite, indented, with a trailing newline.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+// ReadJSON deserializes a suite written by WriteJSON.
+func ReadJSON(r io.Reader) (*Suite, error) {
+	var s Suite
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return &s, nil
+}
+
+// Delta is the comparison of one benchmark across two suites.
+type Delta struct {
+	Key string
+	// Old/New are nil when the benchmark exists in only one suite.
+	Old, New *Benchmark
+	// Speedup is old/new latency (>1 is faster); 0 when either side is
+	// missing or has no latency.
+	Speedup float64
+	// Regressed is non-empty when this delta violates the gate policy.
+	Regressed string
+}
+
+// Compare evaluates every benchmark in either suite whose key matches
+// match (nil matches everything) under the gate policy: new latency may be
+// at most (1+latencyTol) times the old, and allocs/op may not increase.
+// Benchmarks present on only one side are reported but never regressions —
+// a freshly added benchmark has no baseline yet, and retiring one is a
+// reviewed change, not a performance event.
+func Compare(old, new *Suite, match *regexp.Regexp, latencyTol float64) []Delta {
+	keys := map[string]bool{}
+	for i := range old.Benchmarks {
+		keys[old.Benchmarks[i].Key()] = true
+	}
+	for i := range new.Benchmarks {
+		keys[new.Benchmarks[i].Key()] = true
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		if match == nil || match.MatchString(k) {
+			ordered = append(ordered, k)
+		}
+	}
+	sort.Strings(ordered)
+
+	var deltas []Delta
+	for _, k := range ordered {
+		d := Delta{Key: k, Old: old.Lookup(k), New: new.Lookup(k)}
+		if d.Old != nil && d.New != nil {
+			if d.Old.NsPerOp > 0 && d.New.NsPerOp > 0 {
+				d.Speedup = d.Old.NsPerOp / d.New.NsPerOp
+				if d.New.NsPerOp > d.Old.NsPerOp*(1+latencyTol) {
+					d.Regressed = fmt.Sprintf("latency %.0f -> %.0f ns/op (+%.1f%%, tolerance %.0f%%)",
+						d.Old.NsPerOp, d.New.NsPerOp,
+						(d.New.NsPerOp/d.Old.NsPerOp-1)*100, latencyTol*100)
+				}
+			}
+			if d.Old.AllocsPerOp >= 0 && d.New.AllocsPerOp > d.Old.AllocsPerOp {
+				reason := fmt.Sprintf("allocs/op %v -> %v (any increase fails)",
+					d.Old.AllocsPerOp, d.New.AllocsPerOp)
+				if d.Regressed != "" {
+					d.Regressed += "; " + reason
+				} else {
+					d.Regressed = reason
+				}
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Regressions filters deltas down to gate violations.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed != "" {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package benchfmt
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: pimnet/internal/sim
+cpu: Test CPU @ 2.00GHz
+BenchmarkEngineScheduleHeavy-8   	    2000	    600000 ns/op	  131072 B/op	    4096 allocs/op
+BenchmarkEngineSameInstantBurst-8	    3000	    400000 ns/op	  131072 B/op	    4096 allocs/op
+PASS
+ok  	pimnet/internal/sim	2.511s
+pkg: pimnet/internal/core
+BenchmarkExecuteAllReduce256-8   	    1000	    900000 ns/op	   65536 B/op	     120 allocs/op
+BenchmarkFig02Roofline-8         	     100	   5000000 ns/op	         1.80 pimnet/ideal-bw-ratio	    2048 B/op	      30 allocs/op
+ok  	pimnet/internal/core	1.902s
+`
+
+func parseSample(t *testing.T) *Suite {
+	t.Helper()
+	s, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestParse(t *testing.T) {
+	s := parseSample(t)
+	if len(s.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(s.Benchmarks))
+	}
+	b := s.Lookup("pimnet/internal/sim.BenchmarkEngineScheduleHeavy")
+	if b == nil {
+		t.Fatal("EngineScheduleHeavy not found (name or pkg attribution broke)")
+	}
+	if b.NsPerOp != 600000 || b.AllocsPerOp != 4096 || b.BytesPerOp != 131072 || b.Runs != 2000 {
+		t.Fatalf("bad measurements: %+v", b)
+	}
+	fig := s.Lookup("pimnet/internal/core.BenchmarkFig02Roofline")
+	if fig == nil || fig.Metrics["pimnet/ideal-bw-ratio"] != 1.80 {
+		t.Fatalf("custom metric lost: %+v", fig)
+	}
+}
+
+func TestParseAggregatesRepeatedRuns(t *testing.T) {
+	out := `pkg: p
+BenchmarkX-8	100	1000 ns/op	0 B/op	0 allocs/op
+BenchmarkX-8	100	3000 ns/op	0 B/op	2 allocs/op
+`
+	s, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1 aggregated", len(s.Benchmarks))
+	}
+	b := s.Benchmarks[0]
+	if b.NsPerOp != 2000 {
+		t.Fatalf("mean ns/op = %v, want 2000", b.NsPerOp)
+	}
+	if b.AllocsPerOp != 2 {
+		t.Fatalf("allocs/op = %v, want the max (2) so a regression cannot average away", b.AllocsPerOp)
+	}
+	if b.Runs != 200 {
+		t.Fatalf("runs = %d, want 200", b.Runs)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := parseSample(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(s.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(back.Benchmarks), len(s.Benchmarks))
+	}
+	for i := range s.Benchmarks {
+		if back.Benchmarks[i].Key() != s.Benchmarks[i].Key() ||
+			back.Benchmarks[i].NsPerOp != s.Benchmarks[i].NsPerOp ||
+			back.Benchmarks[i].AllocsPerOp != s.Benchmarks[i].AllocsPerOp {
+			t.Fatalf("round trip drift at %d:\n got %+v\nwant %+v",
+				i, back.Benchmarks[i], s.Benchmarks[i])
+		}
+	}
+}
+
+// mkSuite builds a one-package suite from (name, ns, allocs) triples.
+func mkSuite(entries ...Benchmark) *Suite {
+	s := &Suite{}
+	for _, e := range entries {
+		if e.Pkg == "" {
+			e.Pkg = "p"
+		}
+		s.Benchmarks = append(s.Benchmarks, e)
+	}
+	return s
+}
+
+func TestCompareGatePolicy(t *testing.T) {
+	old := mkSuite(
+		Benchmark{Name: "BenchmarkEngineA", NsPerOp: 1000, AllocsPerOp: 10},
+		Benchmark{Name: "BenchmarkEngineB", NsPerOp: 1000, AllocsPerOp: 0},
+		Benchmark{Name: "BenchmarkEngineC", NsPerOp: 1000, AllocsPerOp: 0},
+		Benchmark{Name: "BenchmarkEngineGone", NsPerOp: 500, AllocsPerOp: 0},
+	)
+	cur := mkSuite(
+		Benchmark{Name: "BenchmarkEngineA", NsPerOp: 400, AllocsPerOp: 0},  // 2.5x faster
+		Benchmark{Name: "BenchmarkEngineB", NsPerOp: 1200, AllocsPerOp: 0}, // 20% slower
+		Benchmark{Name: "BenchmarkEngineC", NsPerOp: 1000, AllocsPerOp: 1}, // alloc regression
+		Benchmark{Name: "BenchmarkEngineNew", NsPerOp: 100, AllocsPerOp: 0},
+	)
+	deltas := Compare(old, cur, nil, 0.10)
+	if len(deltas) != 5 {
+		t.Fatalf("got %d deltas, want 5", len(deltas))
+	}
+	byKey := map[string]Delta{}
+	for _, d := range deltas {
+		byKey[d.Key] = d
+	}
+	if d := byKey["p.BenchmarkEngineA"]; d.Regressed != "" || d.Speedup != 2.5 {
+		t.Fatalf("improvement misjudged: %+v", d)
+	}
+	if d := byKey["p.BenchmarkEngineB"]; !strings.Contains(d.Regressed, "latency") {
+		t.Fatalf("20%% latency regression not caught: %+v", d)
+	}
+	if d := byKey["p.BenchmarkEngineC"]; !strings.Contains(d.Regressed, "allocs/op") {
+		t.Fatalf("alloc regression not caught: %+v", d)
+	}
+	if d := byKey["p.BenchmarkEngineNew"]; d.Regressed != "" || d.Old != nil {
+		t.Fatalf("new benchmark must not fail the gate: %+v", d)
+	}
+	if d := byKey["p.BenchmarkEngineGone"]; d.Regressed != "" || d.New != nil {
+		t.Fatalf("retired benchmark must not fail the gate: %+v", d)
+	}
+	if got := Regressions(deltas); len(got) != 2 {
+		t.Fatalf("Regressions returned %d, want 2", len(got))
+	}
+}
+
+func TestCompareLatencyWithinTolerancePasses(t *testing.T) {
+	old := mkSuite(Benchmark{Name: "BenchmarkEngineA", NsPerOp: 1000, AllocsPerOp: 0})
+	cur := mkSuite(Benchmark{Name: "BenchmarkEngineA", NsPerOp: 1090, AllocsPerOp: 0})
+	if regs := Regressions(Compare(old, cur, nil, 0.10)); len(regs) != 0 {
+		t.Fatalf("9%% drift within the 10%% tolerance failed the gate: %+v", regs)
+	}
+}
+
+func TestCompareMatchFilter(t *testing.T) {
+	old := mkSuite(
+		Benchmark{Name: "BenchmarkEngineA", NsPerOp: 1000, AllocsPerOp: 0},
+		Benchmark{Name: "BenchmarkFigX", NsPerOp: 1000, AllocsPerOp: 0},
+	)
+	cur := mkSuite(
+		Benchmark{Name: "BenchmarkEngineA", NsPerOp: 1000, AllocsPerOp: 0},
+		Benchmark{Name: "BenchmarkFigX", NsPerOp: 9000, AllocsPerOp: 5}, // outside the gate
+	)
+	match := regexp.MustCompile(`\.Benchmark(Engine|Execute)`)
+	deltas := Compare(old, cur, match, 0.10)
+	if len(deltas) != 1 || deltas[0].Key != "p.BenchmarkEngineA" {
+		t.Fatalf("filter leaked ungated benchmarks: %+v", deltas)
+	}
+}

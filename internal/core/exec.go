@@ -14,9 +14,28 @@ import (
 // semantics) and the next step begins when the slowest transfer and the
 // pipelined reduction both finish. The network's link state is reset first,
 // so Execute is repeatable.
+//
+// Execute is the sweep hot path: after one warm-up run it allocates nothing,
+// replaying the plan entirely out of the network's execScratch.
 func (n *Network) Execute(p *Plan) (backend.Result, error) {
 	res, _, _, err := n.executePhases(p, execOptions{})
 	return res, err
+}
+
+// execScratch is the executor's reusable working set: the per-phase duration
+// staging and the breakdown accumulator that executePhases would otherwise
+// allocate on every replay. Ownership rule: exactly one scratch per Network,
+// and a Network is a documented single-owner type — sweep workers each build
+// their own backend (and so their own network and scratch), which is what
+// keeps parallel sweeps bit-identical to serial runs with zero sharing.
+type execScratch struct {
+	// durs stages per-phase durations. The slice executePhases returns
+	// aliases this buffer: it is valid only until the next execution on the
+	// same network, and callers that retain durations must copy them out
+	// (compiledBounds does).
+	durs []sim.Time
+	// bd accumulates the component breakdown; results receive a value copy.
+	bd metrics.Breakdown
 }
 
 // execOptions configures the fault-aware execution path. The zero value
@@ -41,12 +60,22 @@ type execOptions struct {
 // bound (-1 when none did). On an abort the result covers the time actually
 // burned — completed phases plus the timed-out phase's full bound — charged
 // to each phase's own component; the caller reattributes it to Recovery.
+// The returned durations alias the network's execScratch and are valid only
+// until the next execution on this network; copy before retaining.
 func (n *Network) executePhases(p *Plan, opt execOptions) (backend.Result, []sim.Time, int, error) {
-	if err := p.CheckContention(); err != nil {
-		return backend.Result{}, nil, -1, err
+	// The contention check is memoized on the plan: every compiled or bound
+	// plan was verified once at construction, so replays skip the per-step
+	// map the checker builds. Only hand-assembled plans pay it here.
+	if !p.verified {
+		if err := p.CheckContention(); err != nil {
+			return backend.Result{}, nil, -1, err
+		}
 	}
 	n.Reset()
-	var bd metrics.Breakdown
+	sc := &n.scratch
+	sc.durs = sc.durs[:0]
+	sc.bd.Reset()
+	bd := &sc.bd
 	var now sim.Time
 
 	// MRAM<->WRAM staging for payloads that exceed the scratchpad.
@@ -62,15 +91,14 @@ func (n *Network) executePhases(p *Plan, opt execOptions) (backend.Result, []sim
 	now += sync
 	bd.Add(metrics.Sync, sync)
 
-	durs := make([]sim.Time, 0, len(p.Phases))
 	for pi, ph := range p.Phases {
 		phaseStart := now
 		for _, st := range ph.Steps {
-			stepStart := now
+			var stepStart sim.Time
 			if ph.Pipelined {
 				stepStart = phaseStart
 			} else {
-				stepStart = sim.AddSat(stepStart, sim.Time(n.stepOverheadPs))
+				stepStart = sim.AddSat(now, sim.Time(n.stepOverheadPs))
 			}
 			if opt.sched != nil {
 				opt.sched.ApplyUpTo(stepStart)
@@ -105,14 +133,14 @@ func (n *Network) executePhases(p *Plan, opt execOptions) (backend.Result, []sim
 			// its statically known completion instant and is declared
 			// failed. The bound's worth of wall-clock is burned.
 			now = sim.AddSat(phaseStart, opt.bounds[pi])
-			durs = append(durs, opt.bounds[pi])
+			sc.durs = append(sc.durs, opt.bounds[pi])
 			bd.Add(ph.Tier.Component(), opt.bounds[pi])
-			return backend.Result{Time: now, Breakdown: bd}, durs, pi, nil
+			return backend.Result{Time: now, Breakdown: *bd}, sc.durs, pi, nil
 		}
-		durs = append(durs, now-phaseStart)
+		sc.durs = append(sc.durs, now-phaseStart)
 		bd.Add(ph.Tier.Component(), now-phaseStart)
 	}
-	return backend.Result{Time: now, Breakdown: bd}, durs, -1, nil
+	return backend.Result{Time: now, Breakdown: *bd}, sc.durs, -1, nil
 }
 
 // memTime converts a DMA staging volume into time: sustained DMA bandwidth

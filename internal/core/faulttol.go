@@ -431,6 +431,7 @@ func chipOrderAvoiding(chips int, dead map[chipPath]bool) ([]int, bool) {
 // segment of that ring instead (ring links multiplex, so the contention
 // checker accepts this). Two failures in one ring disconnect it.
 func (n *Network) rerouteRings(p *Plan) error {
+	p.verified = false // transfers are rewritten below; force a re-check
 	for pi := range p.Phases {
 		ph := &p.Phases[pi]
 		for si := range ph.Steps {

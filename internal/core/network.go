@@ -46,6 +46,11 @@ type Network struct {
 	// linkRef reverse-indexes every link to its coordinate so compiled
 	// plans can be lifted into network-independent blueprints (plancache.go).
 	linkRef map[*sim.Link]LinkRef
+
+	// scratch is the executor's reusable working set (see execScratch in
+	// exec.go). It follows the network's single-owner contract: one scratch
+	// per network, never shared across sweep workers.
+	scratch execScratch
 }
 
 // chipPath identifies one configured crossbar pairing within a rank.

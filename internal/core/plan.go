@@ -105,6 +105,10 @@ type Plan struct {
 	// the payload exceeds the WRAM communication buffer (the paper's "Mem"
 	// overhead).
 	MemBytes int64
+	// verified memoizes a successful CheckContention so replays skip the
+	// per-step bookkeeping. Any code that mutates Phases after construction
+	// must clear it (rerouteRings does).
+	verified bool
 }
 
 // TotalTransferBytes sums scheduled bytes across all phases (diagnostics).
@@ -139,7 +143,8 @@ func (p *Plan) TierBytes(t Tier) int64 {
 // CheckContention verifies the static-schedule property: within any single
 // step, every crossbar port and the bus appear in at most one transfer.
 // A violation means the compiler produced a schedule the bufferless
-// hardware could not execute; it is always a bug.
+// hardware could not execute; it is always a bug. A pass is memoized on the
+// plan, so the executor's defensive re-check is free for compiled plans.
 func (p *Plan) CheckContention() error {
 	for pi, ph := range p.Phases {
 		for si, st := range ph.Steps {
@@ -159,5 +164,6 @@ func (p *Plan) CheckContention() error {
 			}
 		}
 	}
+	p.verified = true
 	return nil
 }

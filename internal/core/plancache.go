@@ -142,6 +142,10 @@ func (b *Blueprint) Bind(n *Network) (*Plan, error) {
 		}
 		p.Phases[pi] = ph
 	}
+	// Blueprints are only ever extracted from plans that passed the
+	// contention check, and binding maps coordinates to links one-to-one, so
+	// the bound plan inherits the verification.
+	p.verified = true
 	return p, nil
 }
 

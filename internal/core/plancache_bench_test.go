@@ -12,6 +12,7 @@ import (
 // populated cache, which reduces to a coordinate-to-link lookup pass.
 
 func BenchmarkPlanColdCompile(b *testing.B) {
+	b.ReportAllocs()
 	n := testNet(b, 2560)
 	req := testReq(collective.AllToAll, 2560, 32<<10)
 	b.ResetTimer()
@@ -23,6 +24,7 @@ func BenchmarkPlanColdCompile(b *testing.B) {
 }
 
 func BenchmarkPlanWarmBind(b *testing.B) {
+	b.ReportAllocs()
 	n := testNet(b, 2560)
 	req := testReq(collective.AllToAll, 2560, 32<<10)
 	c := NewPlanCache()

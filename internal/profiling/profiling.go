@@ -1,0 +1,92 @@
+// Package profiling wires the runtime's CPU, heap, and execution-trace
+// collectors behind the -cpuprofile/-memprofile/-trace flags the pimnet
+// binaries share. It exists so both commands expose identical observability
+// with one call pair:
+//
+//	stop, err := profiling.Start(profiling.Config{CPUProfile: *cpu, ...})
+//	defer stop()
+//
+// The outputs feed the standard toolchain: `go tool pprof` for the profiles,
+// `go tool trace` for the trace.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config names the output files. An empty field disables that collector, so
+// the zero value is a no-op Start.
+type Config struct {
+	// CPUProfile receives a pprof CPU profile sampled for the whole run.
+	CPUProfile string
+	// MemProfile receives a heap profile captured at stop time, after a
+	// forced GC so it shows live retention, not transient garbage.
+	MemProfile string
+	// Trace receives a runtime execution trace (goroutines, GC, syscalls) —
+	// the tool of choice for seeing sweep worker-pool scheduling.
+	Trace string
+}
+
+// Start begins the configured collectors. The returned stop function must
+// run before process exit — it stops the CPU and trace collectors and
+// writes the heap profile — and is safe to call exactly once. On error,
+// anything already started is stopped before returning.
+func Start(c Config) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if c.CPUProfile != "" {
+		cpuFile, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if c.Trace != "" {
+		traceFile, err = os.Create(c.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	memPath := c.MemProfile
+	return func() error {
+		cleanup()
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // show live objects, not yet-uncollected garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,58 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartZeroConfigIsNoop(t *testing.T) {
+	stop, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartWritesAllOutputs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the collectors have something to record.
+	sink := 0
+	buf := make([]byte, 1<<16)
+	for i := range buf {
+		sink += int(buf[i]) + i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cfg.CPUProfile, cfg.MemProfile, cfg.Trace} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("missing output %s: %v", path, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("empty output %s", path)
+		}
+	}
+}
+
+func TestStartBadPathFails(t *testing.T) {
+	if _, err := Start(Config{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "x")}); err == nil {
+		t.Fatal("unwritable CPU profile path accepted")
+	}
+	if _, err := Start(Config{Trace: filepath.Join(t.TempDir(), "no", "such", "dir", "x")}); err == nil {
+		t.Fatal("unwritable trace path accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import "testing"
+
+// The engine benchmarks exercise the two shapes that dominate the
+// simulator's event traffic: a broad spread of distinct instants (heap
+// reordering) and same-instant bursts (the FIFO tie-break path a lock-step
+// schedule produces when a whole step's transfers land together). They are
+// part of the regression-gated suite (make benchcmp): BENCH_baseline.json
+// pins their latency and allocs/op.
+
+// benchFn is a shared no-op callback so the benchmarks measure the queue,
+// not closure allocation at the call sites.
+var benchFn = func() {}
+
+// benchTimes returns a deterministic pseudorandom schedule of n instants
+// (xorshift; no math/rand so the stream is fixed forever).
+func benchTimes(n int) []Time {
+	ts := make([]Time, n)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range ts {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		ts[i] = Time(x % 1_000_000)
+	}
+	return ts
+}
+
+func BenchmarkEngineScheduleHeavy(b *testing.B) {
+	const n = 4096
+	ts := benchTimes(n)
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range ts {
+			e.At(t, benchFn)
+		}
+		e.Run()
+		e.now = 0 // reuse the warm engine; capacity stays allocated
+	}
+}
+
+func BenchmarkEngineSameInstantBurst(b *testing.B) {
+	const n = 4096
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			e.At(100, benchFn)
+		}
+		e.Run()
+		e.now = 0
+	}
+}
+
+// BenchmarkEngineNestedReschedule measures the steady-state interleaving of
+// pops and pushes: every event schedules its successor, so the queue stays
+// shallow while churning through many events — the free-list's best case.
+func BenchmarkEngineNestedReschedule(b *testing.B) {
+	const n = 4096
+	e := NewEngine()
+	var remaining int
+	var tick func()
+	tick = func() {
+		if remaining--; remaining > 0 {
+			e.After(10, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		remaining = n
+		e.At(0, tick)
+		e.Run()
+		e.now = 0
+	}
+}

@@ -36,6 +36,7 @@ func runBenchSweep(b *testing.B, cache *core.PlanCache) {
 // BenchmarkSweepColdCache compiles every point from scratch: a fresh cache
 // per iteration, so within one iteration only repeats of a point hit.
 func BenchmarkSweepColdCache(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runBenchSweep(b, core.NewPlanCache())
 	}
@@ -45,6 +46,7 @@ func BenchmarkSweepColdCache(b *testing.B) {
 // a cached blueprint instead of compiling. The gap against ColdCache is the
 // compile time the cache saves.
 func BenchmarkSweepWarmCache(b *testing.B) {
+	b.ReportAllocs()
 	cache := core.NewPlanCache()
 	runBenchSweep(b, cache) // prewarm
 	b.ResetTimer()
