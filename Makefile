@@ -9,7 +9,7 @@ GO ?= go
 COVER_PKGS = ./internal/core ./internal/sweep
 COVER_FLOOR = 80
 
-.PHONY: build test check cover fuzz bench benchcmp profile golden
+.PHONY: build test check cover fuzz bench benchcmp profile golden trace-smoke
 
 # Benchmarks gated by the regression check (make benchcmp). Engine covers the
 # event queue, Execute covers the plan-replay hot path.
@@ -27,7 +27,7 @@ test:
 # (benchmarks are noisy on shared machines); set BENCH_STRICT=1 to make a
 # regression fail the build.
 check:
-	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) cover
+	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) cover && $(MAKE) trace-smoke
 	@if [ "$(BENCH_STRICT)" = "1" ]; then \
 		$(MAKE) benchcmp; \
 	else \
@@ -81,3 +81,11 @@ profile: build
 # executor change; review the diff before committing.
 golden:
 	$(GO) test ./internal/core -run TestGoldenTraces -update
+
+# Trace smoke test: a traced 256-DPU AllReduce must produce schema-valid
+# Chrome trace_event JSON (the Perfetto-loadability contract of -trace-out).
+trace-smoke:
+	$(GO) run ./cmd/pimnetsim -trace-out /tmp/pimnet-trace-smoke.json \
+		-pattern allreduce -dpus 256 > /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/pimnet-trace-smoke.json
+	@rm -f /tmp/pimnet-trace-smoke.json

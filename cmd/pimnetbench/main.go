@@ -11,6 +11,7 @@
 //	pimnetbench -workers 8   # bound the sweep worker pool (0 = GOMAXPROCS)
 //	pimnetbench -stats       # append a sweep execution/cache summary
 //	pimnetbench -cpuprofile cpu.pprof -memprofile mem.pprof -trace trace.out
+//	pimnetbench -fig trace -trace-out out.json   # traced collectives + Perfetto JSON
 //
 // Experiment points fan out over a bounded goroutine pool (internal/sweep)
 // and share one compiled-plan cache, so repeated configurations bind cached
@@ -24,16 +25,18 @@ import (
 	"io"
 	"os"
 
+	"pimnet"
 	"pimnet/internal/core"
 	"pimnet/internal/experiments"
 	"pimnet/internal/metrics"
 	"pimnet/internal/profiling"
 	"pimnet/internal/report"
 	"pimnet/internal/sweep"
+	"pimnet/internal/trace"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: 2, 3, 4 (Table IV), 10, 11, 12, 13, 14, 15, 16, 17, hw, a1-a6, ablations, or all")
+	fig := flag.String("fig", "all", "experiment to run: 2, 3, 4 (Table IV), 10, 11, 12, 13, 14, 15, 16, 17, hw, a1-a6, ablations, trace, or all")
 	scaled := flag.Bool("scaled", false, "use reduced workload inputs for a quick run")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
@@ -41,6 +44,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to `file`")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to `file`")
+	simTrace := flag.String("trace-out", "", "with -fig trace: write the simulated run as Chrome trace_event JSON to `file`")
+	traceLevel := flag.String("trace-level", "link", "simulator trace detail for -fig trace: phase | link")
 	flag.Parse()
 
 	stop, err := profiling.Start(profiling.Config{
@@ -50,7 +55,8 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(options{fig: *fig, scaled: *scaled, csv: *csv,
-		workers: *workers, stats: *stats, out: os.Stdout})
+		workers: *workers, stats: *stats, out: os.Stdout,
+		simTrace: *simTrace, traceLevel: *traceLevel})
 	if perr := stop(); err == nil {
 		err = perr
 	}
@@ -62,12 +68,14 @@ func main() {
 
 // options carries the parsed command line into run.
 type options struct {
-	fig     string
-	scaled  bool
-	csv     bool
-	workers int
-	stats   bool
-	out     io.Writer
+	fig        string
+	scaled     bool
+	csv        bool
+	workers    int
+	stats      bool
+	out        io.Writer
+	simTrace   string
+	traceLevel string
 }
 
 func run(o options) error {
@@ -240,6 +248,14 @@ func run(o options) error {
 		emit(t)
 		ran = true
 	}
+	if want("trace") {
+		ts, err := runTraced(o)
+		if err != nil {
+			return err
+		}
+		emit(ts...)
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", o.fig)
 	}
@@ -247,4 +263,52 @@ func run(o options) error {
 		emit(report.SweepSummary(agg))
 	}
 	return nil
+}
+
+// runTraced executes the four bulk collectives on a traced 256-DPU PIMnet
+// (the paper's single-channel shape) and reports each run's latency next to
+// the event volume it emitted, followed by the aggregate link-utilization
+// tables. With -trace-out set, the combined timeline is also written as
+// Chrome trace_event JSON for Perfetto. The four runs share one backend, so
+// each restarts the executor clock at zero: in Perfetto their spans overlay
+// on the same tracks rather than appearing end to end.
+func runTraced(o options) ([]*report.Table, error) {
+	lvl, err := pimnet.ParseTraceLevel(o.traceLevel)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := pimnet.DefaultSystem().WithDPUs(256)
+	if err != nil {
+		return nil, err
+	}
+	chrome := pimnet.NewChromeTrace()
+	util := pimnet.NewLinkUtil()
+	p, err := pimnet.NewPIMnet(sys,
+		pimnet.WithTracer(pimnet.MultiTracer(chrome, util)),
+		pimnet.WithTraceLevel(lvl))
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.New("Traced collectives (PIMnet, 256 DPUs, 32 KiB per DPU)",
+		"pattern", "latency", "events emitted")
+	for _, pat := range []pimnet.Pattern{
+		pimnet.AllReduce, pimnet.ReduceScatter, pimnet.AllGather, pimnet.AllToAll,
+	} {
+		before := chrome.Len()
+		res, err := p.Collective(pimnet.Request{Pattern: pat, Op: pimnet.Sum,
+			BytesPerNode: 32 << 10, ElemSize: 4, Nodes: 256})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprint(pat), res.Time.String(), fmt.Sprintf("%d", chrome.Len()-before))
+	}
+	tables := append([]*report.Table{tbl}, report.UtilTables(util.Summary(trace.DefaultTopN))...)
+	if o.simTrace != "" {
+		if err := chrome.WriteFile(o.simTrace); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(o.out, "trace: %d events -> %s (load at https://ui.perfetto.dev)\n",
+			chrome.Len(), o.simTrace)
+	}
+	return tables, nil
 }

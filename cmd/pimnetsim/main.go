@@ -10,6 +10,13 @@
 //	pimnetsim -faults fail-chip=1 -fault-seed 7 -pattern allreduce -dpus 256
 //	pimnetsim -sweep -sweep-dpus 64,256 -sweep-bytes 4096,32768 -workers 4
 //	pimnetsim -sweep -cpuprofile cpu.pprof -memprofile mem.pprof -trace trace.out
+//	pimnetsim -trace-out out.json -trace-level link -pattern allreduce -dpus 256
+//
+// -trace-out records the run as Chrome trace_event JSON — one track per
+// link, tier, and control stage — loadable at https://ui.perfetto.dev, and
+// prints per-tier occupancy plus the most contended links afterwards.
+// -trace-level selects phase-level or per-link-event detail. (The separate
+// -trace flag is the Go runtime's execution trace, not the simulator's.)
 //
 // -sweep runs the selected backend and pattern over the cross product of
 // -sweep-dpus and -sweep-bytes on a bounded goroutine pool (internal/sweep),
@@ -38,6 +45,7 @@ import (
 	"pimnet/internal/profiling"
 	"pimnet/internal/report"
 	"pimnet/internal/sweep"
+	"pimnet/internal/trace"
 )
 
 var patterns = map[string]pimnet.Pattern{
@@ -48,11 +56,6 @@ var patterns = map[string]pimnet.Pattern{
 	"broadcast":     pimnet.Broadcast,
 	"gather":        pimnet.Gather,
 	"reduce":        pimnet.Reduce,
-}
-
-var backendAliases = map[string]string{
-	"baseline": "Baseline", "ideal": "Software(Ideal)",
-	"ndpbridge": "NDPBridge", "dimmlink": "DIMM-Link", "pimnet": "PIMnet",
 }
 
 // workloadNames are the canonical Table VII workload names accepted (by
@@ -78,6 +81,8 @@ type options struct {
 	cpuprofile string
 	memprofile string
 	traceOut   string
+	simTrace   string
+	traceLevel string
 }
 
 func main() {
@@ -99,6 +104,8 @@ func main() {
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a pprof heap profile (post-GC) to `file`")
 	flag.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to `file`")
+	flag.StringVar(&o.simTrace, "trace-out", "", "record the simulated run as Chrome trace_event JSON in `file` (Perfetto-loadable)")
+	flag.StringVar(&o.traceLevel, "trace-level", "link", "simulator trace detail: phase | link")
 	flag.Parse()
 
 	if err := validate(o); err != nil {
@@ -137,8 +144,8 @@ func validate(o options) error {
 	if o.bytes < 0 {
 		return fmt.Errorf("-bytes must be >= 0, got %d", o.bytes)
 	}
-	if _, ok := backendAliases[strings.ToLower(o.backend)]; !ok {
-		return fmt.Errorf("unknown backend %q (want baseline, ideal, ndpbridge, dimmlink, or pimnet)", o.backend)
+	if _, err := pimnet.ParseBackendKind(o.backend); err != nil {
+		return err
 	}
 	if _, ok := patterns[strings.ToLower(o.pattern)]; !ok && o.workload == "" {
 		return fmt.Errorf("unknown pattern %q (want one of %s)", o.pattern, strings.Join(patternList(), ", "))
@@ -162,6 +169,14 @@ func validate(o options) error {
 	}
 	if o.workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", o.workers)
+	}
+	if o.simTrace != "" {
+		if o.compare || o.sweepMode || o.plan {
+			return fmt.Errorf("-trace-out records a single backend's run; it cannot be combined with -compare, -sweep, or -plan")
+		}
+		if _, err := pimnet.ParseTraceLevel(o.traceLevel); err != nil {
+			return err
+		}
 	}
 	if o.sweepMode {
 		if o.plan || o.workload != "" || o.faults != "" || o.compare {
@@ -209,51 +224,60 @@ func knownWorkload(name string) bool {
 	return false
 }
 
-func pick(bes []pimnet.Backend, name string) (pimnet.Backend, error) {
-	want, ok := backendAliases[strings.ToLower(name)]
-	if !ok {
-		return nil, fmt.Errorf("unknown backend %q", name)
-	}
-	for _, be := range bes {
-		if be.Name() == want {
-			return be, nil
-		}
-	}
-	return nil, fmt.Errorf("backend %q unavailable", name)
-}
-
 func run(o options) error {
 	sys, err := pimnet.DefaultSystem().WithDPUs(o.dpus)
 	if err != nil {
 		return err
 	}
+	// A traced run fans one event stream out to the Chrome exporter (written
+	// to -trace-out at the end) and the link-utilization aggregator (printed
+	// as occupancy tables after the run's own output).
+	var chrome *trace.Chrome
+	var util *trace.Util
+	var topts []pimnet.Option
+	if o.simTrace != "" {
+		lvl, err := pimnet.ParseTraceLevel(o.traceLevel)
+		if err != nil {
+			return err
+		}
+		chrome = pimnet.NewChromeTrace()
+		util = pimnet.NewLinkUtil()
+		topts = []pimnet.Option{
+			pimnet.WithTracer(pimnet.MultiTracer(chrome, util)),
+			pimnet.WithTraceLevel(lvl),
+		}
+	}
 	var targets []pimnet.Backend
 	var faulty *core.PIMnet
-	if o.faults != "" {
+	switch {
+	case o.faults != "":
 		spec, err := pimnet.ParseFaultSpec(o.faults)
 		if err != nil {
 			return err
 		}
 		spec.Seed = o.faultSeed
-		faulty, err = pimnet.NewFaultyPIMnet(sys, spec)
+		faulty, err = pimnet.NewPIMnet(sys, append(topts, pimnet.WithFaults(spec))...)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("fault model (seed %d): %v\n", o.faultSeed, faulty.FaultModel())
 		targets = []pimnet.Backend{faulty}
-	} else {
+	case o.compare:
 		bes, err := pimnet.Backends(sys)
 		if err != nil {
 			return err
 		}
 		targets = bes
-		if !o.compare {
-			be, err := pick(bes, o.backend)
-			if err != nil {
-				return err
-			}
-			targets = []pimnet.Backend{be}
+	default:
+		kind, err := pimnet.ParseBackendKind(o.backend)
+		if err != nil {
+			return err
 		}
+		be, err := pimnet.NewBackend(kind, sys, topts...)
+		if err != nil {
+			return err
+		}
+		targets = []pimnet.Backend{be}
 	}
 
 	if o.workload != "" {
@@ -270,6 +294,15 @@ func run(o options) error {
 			mode = "degraded"
 		}
 		fmt.Printf("fault counters: %v, mode: %s\n", faulty.FaultCounters(), mode)
+	}
+	if chrome != nil {
+		if err := chrome.WriteFile(o.simTrace); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s (load at https://ui.perfetto.dev)\n", chrome.Len(), o.simTrace)
+		for _, tbl := range report.UtilTables(util.Summary(trace.DefaultTopN)) {
+			fmt.Println(tbl)
+		}
 	}
 	return nil
 }
@@ -334,25 +367,13 @@ func runWorkload(sys pimnet.System, targets []pimnet.Backend, name string, dpus 
 }
 
 // newBackend builds exactly one backend, attaching the shared plan cache
-// when it is the PIMnet (the only backend that compiles plans).
+// (which only the PIMnet backend — the one that compiles plans — uses).
 func newBackend(sys pimnet.System, name string, cache *core.PlanCache) (pimnet.Backend, error) {
-	switch strings.ToLower(name) {
-	case "baseline":
-		return pimnet.NewBaseline(sys)
-	case "ideal":
-		return pimnet.NewIdealSoftware(sys)
-	case "ndpbridge":
-		return pimnet.NewNDPBridge(sys)
-	case "dimmlink":
-		return pimnet.NewDIMMLink(sys)
-	case "pimnet":
-		p, err := pimnet.NewPIMnet(sys)
-		if err != nil {
-			return nil, err
-		}
-		return p.WithPlanCache(cache), nil
+	kind, err := pimnet.ParseBackendKind(name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown backend %q", name)
+	return pimnet.NewBackend(kind, sys, pimnet.WithPlanCache(cache))
 }
 
 // runSweep fans the selected collective over the -sweep-dpus x -sweep-bytes

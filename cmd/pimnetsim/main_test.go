@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pimnet/internal/trace"
+)
 
 func opts(mut func(*options)) options {
 	// Mirrors the flag defaults (with reduced matrix sizes for test speed).
@@ -90,6 +97,24 @@ func TestValidate(t *testing.T) {
 		{"sweep bad bytes", func(o *options) { o.sweepMode = true; o.sweepBytes = "4k" }, false},
 		{"sweep zero dpus", func(o *options) { o.sweepMode = true; o.sweepDPUs = "0,64" }, false},
 		{"negative workers", func(o *options) { o.workers = -2 }, false},
+		{"trace", func(o *options) { o.simTrace = "/tmp/t.json"; o.traceLevel = "link" }, true},
+		{"trace phase level", func(o *options) { o.simTrace = "/tmp/t.json"; o.traceLevel = "phase" }, true},
+		{"trace bad level", func(o *options) { o.simTrace = "/tmp/t.json"; o.traceLevel = "verbose" }, false},
+		{"trace+compare", func(o *options) {
+			o.simTrace = "/tmp/t.json"
+			o.traceLevel = "link"
+			o.compare = true
+		}, false},
+		{"trace+sweep", func(o *options) {
+			o.simTrace = "/tmp/t.json"
+			o.traceLevel = "link"
+			o.sweepMode = true
+		}, false},
+		{"trace+plan", func(o *options) {
+			o.simTrace = "/tmp/t.json"
+			o.traceLevel = "link"
+			o.plan = true
+		}, false},
 	}
 	for _, tc := range cases {
 		err := validate(opts(tc.mut))
@@ -181,5 +206,42 @@ func TestDumpPlan(t *testing.T) {
 	}
 	if err := dumpPlan("allreduce", 1024, 13); err == nil {
 		t.Fatal("unshapeable population accepted")
+	}
+}
+
+// TestRunTraced: a traced run must leave a schema-valid Chrome trace on disk,
+// for both single-backend and faulty runs, at either detail level.
+func TestRunTraced(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		mut  func(*options)
+	}{
+		{"link level", func(o *options) { o.traceLevel = "link" }},
+		{"phase level", func(o *options) { o.traceLevel = "phase" }},
+		{"faulty", func(o *options) {
+			o.traceLevel = "link"
+			o.dpus = 256
+			o.faults = "corrupt=0.2"
+		}},
+		{"baseline backend", func(o *options) {
+			o.traceLevel = "link"
+			o.backend = "baseline"
+		}},
+	}
+	for _, tc := range cases {
+		out := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "_")+".json")
+		o := opts(tc.mut)
+		o.simTrace = out
+		if err := run(o); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatalf("%s: trace file not written: %v", tc.name, err)
+		}
+		if err := trace.ValidateChrome(data); err != nil {
+			t.Fatalf("%s: invalid Chrome trace: %v", tc.name, err)
+		}
 	}
 }

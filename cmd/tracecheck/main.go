@@ -1,0 +1,46 @@
+// Command tracecheck validates Chrome trace_event JSON files produced by
+// the simulator's -trace-out flag: the envelope structure, event phases,
+// timestamps/durations, and that every track is named by thread metadata.
+// It exits non-zero on the first malformed file, which is what lets
+// `make trace-smoke` gate the Perfetto-loadability contract.
+//
+// Usage:
+//
+//	tracecheck out.json [more.json ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimnet/internal/trace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck file.json [file.json ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			code = 1
+			continue
+		}
+		if err := trace.ValidateChrome(data); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("%s: valid Chrome trace (%d bytes)\n", path, len(data))
+	}
+	os.Exit(code)
+}

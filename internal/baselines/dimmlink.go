@@ -21,11 +21,16 @@ import (
 	"pimnet/internal/config"
 	"pimnet/internal/metrics"
 	"pimnet/internal/sim"
+	"pimnet/internal/trace"
 )
 
 // DIMMLink is the DIMM-Link backend.
 type DIMMLink struct {
 	sys config.System
+	// tracer, when non-nil, receives one KindHostStage span per buffer-chip
+	// or inter-rank stage (TierChip for rank-internal hops, TierRank for the
+	// dedicated links).
+	tracer trace.Tracer
 }
 
 var _ backend.Backend = (*DIMMLink)(nil)
@@ -40,6 +45,10 @@ func NewDIMMLink(sys config.System) (*DIMMLink, error) {
 
 // Name implements backend.Backend.
 func (d *DIMMLink) Name() string { return "DIMM-Link" }
+
+// SetTracer attaches a tracer; every subsequent collective emits its stage
+// timeline. Pass nil to detach.
+func (d *DIMMLink) SetTracer(t trace.Tracer) { d.tracer = t }
 
 // ranksSpanned mirrors the hierarchy fill order used everywhere else.
 func (d *DIMMLink) ranksSpanned(nodes int) int {
@@ -77,19 +86,28 @@ func (d *DIMMLink) Collective(req collective.Request) (backend.Result, error) {
 	// bridge overhead, so we keep it at the buffer-chip forwarding latency.
 	hop := d.sys.Buffer.HopLatency
 
+	emit := func(name string, tier trace.Tier, bytes int64, dt sim.Time) {
+		if d.tracer != nil && dt > 0 {
+			d.tracer.Emit(trace.Event{Kind: trace.KindHostStage, Tier: tier,
+				Name: name, Start: int64(t), End: int64(t + dt), Bytes: bytes, From: -1, To: -1})
+		}
+	}
 	collect := func() { // all bank payloads into the rank's buffer chip
 		dt := sim.TransferTime(rankBytes, bufBW) + hop
 		bd.Add(metrics.InterChip, dt)
+		emit("collect", trace.TierChip, rankBytes, dt)
 		t += dt
 	}
 	reduceInBuffer := func(bytes int64) {
 		dt := sim.TransferTime(bytes, d.sys.Buffer.ReduceBW)
 		bd.Add(metrics.InterChip, dt)
+		emit("buffer-reduce", trace.TierChip, bytes, dt)
 		t += dt
 	}
 	distribute := func(bytes int64) { // buffer chip back to the banks
 		dt := sim.TransferTime(bytes, bufBW) + hop
 		bd.Add(metrics.InterChip, dt)
+		emit("distribute", trace.TierChip, bytes, dt)
 		t += dt
 	}
 	interRank := func(bytes int64) { // dedicated links, ranks in parallel
@@ -98,6 +116,7 @@ func (d *DIMMLink) Collective(req collective.Request) (backend.Result, error) {
 		}
 		dt := sim.TransferTime(bytes, linkBW) + hop
 		bd.Add(metrics.InterRank, dt)
+		emit("inter-rank", trace.TierRank, bytes, dt)
 		t += dt
 	}
 

@@ -8,6 +8,7 @@ import (
 	"pimnet/internal/config"
 	"pimnet/internal/metrics"
 	"pimnet/internal/sim"
+	"pimnet/internal/trace"
 )
 
 // NDPBridge is the NDPBridge [85] backend: hierarchical hardware bridges
@@ -17,6 +18,9 @@ import (
 // All-to-all workloads; reduction patterns return ErrNoReduction.
 type NDPBridge struct {
 	sys config.System
+	// tracer, when non-nil, receives one KindHostStage span per bridge
+	// forwarding stage (TierChip) and host relay (TierNone).
+	tracer trace.Tracer
 }
 
 var _ backend.Backend = (*NDPBridge)(nil)
@@ -35,6 +39,10 @@ func NewNDPBridge(sys config.System) (*NDPBridge, error) {
 
 // Name implements backend.Backend.
 func (nb *NDPBridge) Name() string { return "NDPBridge" }
+
+// SetTracer attaches a tracer; every subsequent collective emits its stage
+// timeline. Pass nil to detach.
+func (nb *NDPBridge) SetTracer(t trace.Tracer) { nb.tracer = t }
 
 func (nb *NDPBridge) ranksSpanned(nodes int) int {
 	perRank := nb.sys.BanksPerRank()
@@ -73,12 +81,20 @@ func (nb *NDPBridge) Collective(req collective.Request) (backend.Result, error) 
 	forward := func(bytes int64, hops int) { // bridge store-and-forward within a rank
 		dt := sim.TransferTime(bytes, bufBW) + sim.Time(hops)*hop
 		bd.Add(metrics.InterChip, dt)
+		if nb.tracer != nil && dt > 0 {
+			nb.tracer.Emit(trace.Event{Kind: trace.KindHostStage, Tier: trace.TierChip,
+				Name: "bridge-forward", Start: int64(t), End: int64(t + dt), Bytes: bytes, From: -1, To: -1})
+		}
 		t += dt
 	}
 	viaHost := func(up, down int64) { // inter-rank messages relayed by the CPU
 		dt := sim.TransferTime(up, nb.sys.Host.PIMToCPUBW) +
 			sim.TransferTime(down, nb.sys.Host.CPUToPIMBW)
 		bd.Add(metrics.HostXfer, dt)
+		if nb.tracer != nil && dt > 0 {
+			nb.tracer.Emit(trace.Event{Kind: trace.KindHostStage, Tier: trace.TierNone,
+				Name: "host-relay", Start: int64(t), End: int64(t + dt), Bytes: up + down, From: -1, To: -1})
+		}
 		t += dt
 	}
 

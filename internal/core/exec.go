@@ -6,6 +6,7 @@ import (
 	"pimnet/internal/backend"
 	"pimnet/internal/metrics"
 	"pimnet/internal/sim"
+	"pimnet/internal/trace"
 )
 
 // Execute runs a compiled plan on the network starting at t=0 and returns
@@ -53,6 +54,11 @@ type execOptions struct {
 	// stragglerScale > 1 stretches every DPU-side reduction by the slowest
 	// straggler's factor: the lock-step reduce is gated by the last DPU.
 	stragglerScale float64
+	// traceBase offsets emitted trace timestamps. The recovery ladder
+	// re-runs plans with the executor clock rebased at zero; it passes the
+	// wall-clock already burned so a traced recovery renders its attempts
+	// sequentially instead of stacked at t=0. Timing math never reads it.
+	traceBase sim.Time
 }
 
 // executePhases is the engine behind Execute. It additionally returns the
@@ -77,23 +83,36 @@ func (n *Network) executePhases(p *Plan, opt execOptions) (backend.Result, []sim
 	sc.bd.Reset()
 	bd := &sc.bd
 	var now sim.Time
+	tb := int64(opt.traceBase)
 
 	// MRAM<->WRAM staging for payloads that exceed the scratchpad.
 	if p.MemBytes > 0 {
 		now += n.memTime(p.MemBytes)
 		bd.Add(metrics.Mem, now)
+		if n.tracer != nil {
+			n.tracer.Emit(trace.Event{Kind: trace.KindMemStage, Tier: trace.TierNone,
+				Name: "mram-stage", Start: tb, End: tb + int64(now), Bytes: p.MemBytes, From: -1, To: -1})
+		}
 	}
 
 	// READY/START synchronization: one tree traversal launches the whole
 	// statically timed schedule (Section IV-C); the per-phase WAIT offsets
 	// are already baked into the lock-step execution.
 	sync := n.SyncLatency()
+	if n.tracer != nil {
+		n.tracer.Emit(trace.Event{Kind: trace.KindSyncTree, Tier: trace.TierNone,
+			Name: "ready-start", Start: tb + int64(now), End: tb + int64(now+sync), From: -1, To: -1})
+	}
 	now += sync
 	bd.Add(metrics.Sync, sync)
 
 	for pi, ph := range p.Phases {
 		phaseStart := now
-		for _, st := range ph.Steps {
+		if n.tracer != nil {
+			n.tracer.Emit(trace.Event{Kind: trace.KindPhaseStart, Tier: trace.Tier(ph.Tier),
+				Name: ph.Name, Start: tb + int64(phaseStart), End: tb + int64(phaseStart), From: -1, To: -1})
+		}
+		for si, st := range ph.Steps {
 			var stepStart sim.Time
 			if ph.Pipelined {
 				stepStart = phaseStart
@@ -107,7 +126,23 @@ func (n *Network) executePhases(p *Plan, opt execOptions) (backend.Result, []sim
 			for _, tr := range st.Transfers {
 				done := sim.MaxTime
 				if !tr.Dead {
-					_, done = tr.Link.Reserve(stepStart, tr.Bytes)
+					var resStart sim.Time
+					resStart, done = tr.Link.Reserve(stepStart, tr.Bytes)
+					if n.traceLinks {
+						// The busy window is the serialization interval:
+						// reservation start to the instant the wire frees
+						// (propagation excluded). A hard-failed wire never
+						// frees; it emits nothing — the detection event
+						// comes from the recovery ladder instead.
+						if free := tr.Link.FreeAt(); free != sim.MaxTime {
+							from, to := n.linkEndpoints(tr.Link)
+							n.tracer.Emit(trace.Event{Kind: trace.KindLinkBusy,
+								Tier: trace.Tier(ph.Tier), Name: ph.Name,
+								Link: tr.Link.Name(), Start: tb + int64(resStart),
+								End: tb + int64(free), Bytes: tr.Bytes,
+								From: from, To: to, Seq: int64(si)})
+						}
+					}
 				}
 				if done > end {
 					end = done
@@ -135,10 +170,18 @@ func (n *Network) executePhases(p *Plan, opt execOptions) (backend.Result, []sim
 			now = sim.AddSat(phaseStart, opt.bounds[pi])
 			sc.durs = append(sc.durs, opt.bounds[pi])
 			bd.Add(ph.Tier.Component(), opt.bounds[pi])
+			if n.tracer != nil {
+				n.tracer.Emit(trace.Event{Kind: trace.KindPhaseEnd, Tier: trace.Tier(ph.Tier),
+					Name: ph.Name, Start: tb + int64(phaseStart), End: tb + int64(now), From: -1, To: -1})
+			}
 			return backend.Result{Time: now, Breakdown: *bd}, sc.durs, pi, nil
 		}
 		sc.durs = append(sc.durs, now-phaseStart)
 		bd.Add(ph.Tier.Component(), now-phaseStart)
+		if n.tracer != nil {
+			n.tracer.Emit(trace.Event{Kind: trace.KindPhaseEnd, Tier: trace.Tier(ph.Tier),
+				Name: ph.Name, Start: tb + int64(phaseStart), End: tb + int64(now), From: -1, To: -1})
+		}
 	}
 	return backend.Result{Time: now, Breakdown: *bd}, sc.durs, -1, nil
 }

@@ -8,6 +8,7 @@ import (
 	"pimnet/internal/faults"
 	"pimnet/internal/metrics"
 	"pimnet/internal/sim"
+	"pimnet/internal/trace"
 )
 
 // This file implements PIMnet's recovery ladder. The static schedule that
@@ -177,6 +178,13 @@ func (p *PIMnet) faultCollective(req collective.Request) (backend.Result, error)
 		ft.counters.Detected++
 		ft.counters.Retried++
 		wait := p.net.syncWatchdogTimeout() + retryBackoffBase<<launch
+		if t := p.net.tracer; t != nil {
+			t.Emit(trace.Event{Kind: trace.KindFaultDetected, Tier: trace.TierNone,
+				Name: "READY/START launch lost", Start: int64(total), End: int64(total), From: -1, To: -1})
+			t.Emit(trace.Event{Kind: trace.KindRetry, Tier: trace.TierNone,
+				Name: "re-launch backoff", Start: int64(total), End: int64(total + wait),
+				From: -1, To: -1, Seq: int64(launch)})
+		}
 		total += wait
 		bd.Add(metrics.Recovery, wait)
 	}
@@ -187,6 +195,7 @@ func (p *PIMnet) faultCollective(req collective.Request) (backend.Result, error)
 	// A previous invocation already recompiled around the hard faults for
 	// this request: the host kept the plan, so run it committed.
 	if dplan, ok := ft.dplans[req]; ok {
+		opt.traceBase = total
 		res, _, _, err := p.net.executePhases(dplan, opt)
 		if err != nil {
 			return backend.Result{}, fmt.Errorf("pimnet: cached recompiled plan: %w", err)
@@ -208,6 +217,7 @@ func (p *PIMnet) faultCollective(req collective.Request) (backend.Result, error)
 		opt.bounds = bounds
 	}
 	for attempt := 0; ; attempt++ {
+		opt.traceBase = total
 		res, _, abortedAt, err := p.net.executePhases(plan, opt)
 		if err != nil {
 			return backend.Result{}, fmt.Errorf("pimnet: %w", err)
@@ -218,6 +228,11 @@ func (p *PIMnet) faultCollective(req collective.Request) (backend.Result, error)
 			ft.counters.Detected++
 			total += res.Time
 			bd.Add(metrics.Recovery, res.Time)
+			if t := p.net.tracer; t != nil {
+				t.Emit(trace.Event{Kind: trace.KindFaultDetected, Tier: trace.TierNone,
+					Name: "phase overran compiled bound", Start: int64(total), End: int64(total),
+					From: -1, To: -1, Seq: int64(abortedAt)})
+			}
 			return p.recoverHard(req, inv, plan, opt, total, bd)
 		}
 		// Rung 2: transient corruption is invisible to timing; the
@@ -231,6 +246,14 @@ func (p *PIMnet) faultCollective(req collective.Request) (backend.Result, error)
 			}
 			ft.counters.Retried++
 			waste := res.Time + retryBackoffBase<<attempt
+			if t := p.net.tracer; t != nil {
+				t.Emit(trace.Event{Kind: trace.KindFaultDetected, Tier: trace.TierNone,
+					Name: "payload corrupt", Start: int64(total + res.Time), End: int64(total + res.Time),
+					From: -1, To: -1})
+				t.Emit(trace.Event{Kind: trace.KindRetry, Tier: trace.TierNone,
+					Name: "corrupt-retry backoff", Start: int64(total + res.Time),
+					End: int64(total + waste), From: -1, To: -1, Seq: int64(attempt)})
+			}
 			total += waste
 			bd.Add(metrics.Recovery, waste)
 			continue
@@ -262,6 +285,7 @@ func (p *PIMnet) recoverHard(req collective.Request, inv int, plan *Plan,
 		ft.degraded = true
 		ft.softAccepted = true
 		opt.bounds = nil
+		opt.traceBase = total
 		res, _, _, err := p.net.executePhases(plan, opt)
 		if err != nil {
 			return backend.Result{}, fmt.Errorf("pimnet: degraded re-run: %w", err)
@@ -281,9 +305,15 @@ func (p *PIMnet) recoverHard(req collective.Request, inv int, plan *Plan,
 	ft.counters.Recompiled++
 	ft.degraded = true
 	ft.dplans[req] = dplan
+	if t := p.net.tracer; t != nil {
+		t.Emit(trace.Event{Kind: trace.KindReroute, Tier: trace.TierNone,
+			Name: "recompile route-around", Start: int64(total), End: int64(total + recompile),
+			From: -1, To: -1})
+	}
 	total += recompile
 	bd.Add(metrics.Recovery, recompile)
 	opt.bounds = nil
+	opt.traceBase = total
 	res, _, _, err := p.net.executePhases(dplan, opt)
 	if err != nil {
 		return backend.Result{}, fmt.Errorf("pimnet: recompiled plan: %w", err)
@@ -309,6 +339,10 @@ func (p *PIMnet) degradeToFallback(req collective.Request, total sim.Time,
 	ft.degraded = true
 	total += waste
 	bd.Add(metrics.Recovery, waste)
+	if t := p.net.tracer; t != nil {
+		t.Emit(trace.Event{Kind: trace.KindFallback, Tier: trace.TierNone,
+			Name: "host-relay fallback", Start: int64(total), End: int64(total), From: -1, To: -1})
+	}
 	res, err := ft.fallback.Collective(req)
 	if err != nil {
 		return backend.Result{}, fmt.Errorf("pimnet: fallback after %v: %w", cause, err)

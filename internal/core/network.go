@@ -6,6 +6,7 @@ import (
 	"pimnet/internal/config"
 	"pimnet/internal/faults"
 	"pimnet/internal/sim"
+	"pimnet/internal/trace"
 )
 
 // Network instantiates the PIMnet resources for one memory channel:
@@ -51,6 +52,18 @@ type Network struct {
 	// exec.go). It follows the network's single-owner contract: one scratch
 	// per network, never shared across sweep workers.
 	scratch execScratch
+
+	// Observability. tracer receives the executor's structured events;
+	// traceLinks gates per-transfer KindLinkBusy emission (trace.LevelLink),
+	// precomputed so the executor's inner loop tests one bool. util is the
+	// attached utilization aggregator when the tracer contains one,
+	// resolved once so report plumbing needs no type switches. All three
+	// are nil/false when tracing is off — the hot paths then run the exact
+	// pre-instrumentation instruction sequence plus predictable branches,
+	// preserving the 0 allocs/op contract of BENCH_baseline.json.
+	tracer     trace.Tracer
+	traceLinks bool
+	util       *trace.Util
 }
 
 // chipPath identifies one configured crossbar pairing within a rank.
@@ -119,6 +132,52 @@ func (n *Network) Reset() {
 		}
 	}
 	n.rankBus.Reset()
+}
+
+// SetTracer attaches a structured execution tracer at the given level;
+// pass nil to detach. The executor then emits phase, synchronization, and
+// staging spans, and — at trace.LevelLink — one KindLinkBusy per scheduled
+// transfer. If the tracer contains a trace.Util aggregator (directly or
+// via trace.Multi), it is resolved here so UtilSummary can surface
+// link-utilization statistics without re-walking the tracer tree.
+func (n *Network) SetTracer(t trace.Tracer, level trace.Level) {
+	n.tracer = t
+	n.traceLinks = t != nil && level >= trace.LevelLink
+	n.util = trace.FindUtil(t)
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (n *Network) Tracer() trace.Tracer { return n.tracer }
+
+// UtilSummary digests the attached utilization aggregator into per-tier
+// occupancy statistics and a top-N contended-links table. It returns nil
+// when no aggregator is attached — the nil is what keeps machine.Report
+// comparable across untraced runs.
+func (n *Network) UtilSummary() *trace.Summary {
+	if n.util == nil {
+		return nil
+	}
+	return n.util.Summary(trace.DefaultTopN)
+}
+
+// linkEndpoints resolves a link to its (from, to) trace coordinates: ring
+// segments connect bank b to its clockwise successor, DQ channels connect
+// a chip to the crossbar (-1), and the shared bus has no fixed endpoints.
+func (n *Network) linkEndpoints(l *sim.Link) (int32, int32) {
+	ref, ok := n.linkRef[l]
+	if !ok {
+		return -1, -1
+	}
+	switch ref.Role {
+	case RefRing:
+		return int32(ref.Index), int32((ref.Index + 1) % n.Topo.Banks)
+	case RefChipSend:
+		return int32(ref.Chip), -1
+	case RefChipRecv:
+		return -1, int32(ref.Chip)
+	default:
+		return -1, -1
+	}
 }
 
 // physChip maps a logical chip position to the physical chip occupying it.

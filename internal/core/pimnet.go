@@ -6,6 +6,7 @@ import (
 	"pimnet/internal/backend"
 	"pimnet/internal/collective"
 	"pimnet/internal/config"
+	"pimnet/internal/trace"
 )
 
 // PIMnet is the collective backend implemented by the paper's proposed
@@ -48,6 +49,18 @@ func (p *PIMnet) WithPlanCache(c *PlanCache) *PIMnet {
 	p.cache = c
 	return p
 }
+
+// SetTracer attaches a tracer to the backend's network: the executor emits
+// phase/sync/mem spans (and per-transfer link occupancy at LevelLink), and
+// the recovery ladder emits detection and recovery events. Pass nil to
+// detach; a nil tracer restores the zero-allocation fast path.
+func (p *PIMnet) SetTracer(t trace.Tracer, level trace.Level) {
+	p.net.SetTracer(t, level)
+}
+
+// UtilSummary returns the link-utilization summary accumulated by an
+// attached trace.Util aggregator, or nil when none is attached.
+func (p *PIMnet) UtilSummary() *trace.Summary { return p.net.UtilSummary() }
 
 // Collective implements backend.Backend. With a fault model armed the
 // request runs under the detection/retry/recompilation ladder; otherwise it

@@ -21,6 +21,7 @@ import (
 	"pimnet/internal/config"
 	"pimnet/internal/metrics"
 	"pimnet/internal/sim"
+	"pimnet/internal/trace"
 )
 
 // variant selects the host-path overhead policy.
@@ -36,6 +37,9 @@ const (
 type Path struct {
 	sys config.System
 	v   variant
+	// tracer, when non-nil, receives one KindHostStage span per stage of
+	// every collective (launch, gather-up, host-reduce, scatter/broadcast).
+	tracer trace.Tracer
 }
 
 var _ backend.Backend = (*Path)(nil)
@@ -81,6 +85,10 @@ func (p *Path) Name() string {
 
 // Ideal reports whether this is the idealized path.
 func (p *Path) Ideal() bool { return p.v == ideal }
+
+// SetTracer attaches a tracer; every subsequent collective emits its stage
+// timeline as KindHostStage spans. Pass nil to detach.
+func (p *Path) SetTracer(t trace.Tracer) { p.tracer = t }
 
 // bandwidths for the three transfer directions, after overhead policy.
 func (p *Path) upBW() float64 { // PIM -> CPU
@@ -164,31 +172,42 @@ func (p *Path) Collective(req collective.Request) (backend.Result, error) {
 	total := req.TotalBytes()
 	n := req.Nodes
 
-	t += p.launch(&bd)
+	// stage advances the relay clock by one stage's duration and, with a
+	// tracer attached, emits the stage as a KindHostStage span on the host
+	// track. Zero-duration stages (e.g. ideal-variant launches) are elided.
+	stage := func(name string, bytes int64, d sim.Time) {
+		if p.tracer != nil && d > 0 {
+			p.tracer.Emit(trace.Event{Kind: trace.KindHostStage, Tier: trace.TierNone,
+				Name: name, Start: int64(t), End: int64(t + d), Bytes: bytes, From: -1, To: -1})
+		}
+		t += d
+	}
+
+	stage("launch", 0, p.launch(&bd))
 	switch req.Pattern {
 	case collective.AllReduce:
-		t += p.xfer(&bd, total, p.upBW(), n) // all partials to host
-		t += p.hostCompute(&bd, total)       // elementwise reduce
-		t += p.xfer(&bd, D, p.bcastBW(), n)  // identical result broadcast
+		stage("gather-up", total, p.xfer(&bd, total, p.upBW(), n)) // all partials to host
+		stage("host-reduce", total, p.hostCompute(&bd, total))     // elementwise reduce
+		stage("broadcast-down", D, p.xfer(&bd, D, p.bcastBW(), n)) // identical result broadcast
 	case collective.ReduceScatter:
-		t += p.xfer(&bd, total, p.upBW(), n)
-		t += p.hostCompute(&bd, total)
-		t += p.xfer(&bd, D, p.downBW(), n) // one shard per node, D total
+		stage("gather-up", total, p.xfer(&bd, total, p.upBW(), n))
+		stage("host-reduce", total, p.hostCompute(&bd, total))
+		stage("scatter-down", D, p.xfer(&bd, D, p.downBW(), n)) // one shard per node, D total
 	case collective.AllGather:
-		t += p.xfer(&bd, total, p.upBW(), n)
-		t += p.xfer(&bd, total, p.bcastBW(), n) // same concatenation to all
+		stage("gather-up", total, p.xfer(&bd, total, p.upBW(), n))
+		stage("broadcast-down", total, p.xfer(&bd, total, p.bcastBW(), n)) // same concatenation to all
 	case collective.AllToAll:
-		t += p.xfer(&bd, total, p.upBW(), n)
-		t += p.hostCompute(&bd, total) // block reshuffle in host memory
-		t += p.xfer(&bd, total, p.downBW(), n)
+		stage("gather-up", total, p.xfer(&bd, total, p.upBW(), n))
+		stage("host-reshuffle", total, p.hostCompute(&bd, total)) // block reshuffle in host memory
+		stage("scatter-down", total, p.xfer(&bd, total, p.downBW(), n))
 	case collective.Broadcast:
-		t += p.xfer(&bd, D, p.bcastBW(), n)
+		stage("broadcast-down", D, p.xfer(&bd, D, p.bcastBW(), n))
 	case collective.Gather:
-		t += p.xfer(&bd, total, p.upBW(), n)
+		stage("gather-up", total, p.xfer(&bd, total, p.upBW(), n))
 	case collective.Reduce:
-		t += p.xfer(&bd, total, p.upBW(), n)
-		t += p.hostCompute(&bd, total)
-		t += p.xfer(&bd, D, p.downBW(), 1) // result to the root only
+		stage("gather-up", total, p.xfer(&bd, total, p.upBW(), n))
+		stage("host-reduce", total, p.hostCompute(&bd, total))
+		stage("result-down", D, p.xfer(&bd, D, p.downBW(), 1)) // result to the root only
 	default:
 		return backend.Result{}, fmt.Errorf("host: pattern %v unsupported", req.Pattern)
 	}

@@ -20,6 +20,7 @@ import (
 	"pimnet/internal/dpu"
 	"pimnet/internal/metrics"
 	"pimnet/internal/sim"
+	"pimnet/internal/trace"
 )
 
 // Phase is one superstep of a workload: per-DPU compute (sized by the
@@ -74,6 +75,12 @@ type Report struct {
 	// on a recompiled route, an accepted slow network, or the host-relay
 	// fallback.
 	Degraded bool
+	// Util holds the link-utilization summary when the backend ran with a
+	// trace.Util aggregator attached; nil on untraced runs. A pointer keeps
+	// Report comparable with == (the fault-determinism tests compare
+	// reports), and untraced reports — the only ones those tests build —
+	// leave it nil.
+	Util *trace.Summary
 }
 
 // FaultAware is implemented by backends that carry a fault model (PIMnet
@@ -84,6 +91,13 @@ type FaultAware interface {
 	FaultCounters() metrics.FaultCounters
 	DegradedMode() bool
 	ComputeSlowdown() float64
+}
+
+// UtilSummarizer is implemented by backends that can report a
+// link-utilization summary (PIMnet with a trace.Util aggregator attached).
+// The machine copies the summary into the Report after the run.
+type UtilSummarizer interface {
+	UtilSummary() *trace.Summary
 }
 
 // CommFraction returns the share of total time spent communicating.
@@ -161,6 +175,9 @@ func (m *Machine) Run(wl Workload) (Report, error) {
 	if fa != nil {
 		rep.Faults = fa.FaultCounters().Sub(before)
 		rep.Degraded = fa.DegradedMode()
+	}
+	if us, ok := m.be.(UtilSummarizer); ok {
+		rep.Util = us.UtilSummary()
 	}
 	return rep, nil
 }

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"pimnet/internal/sim"
+	"pimnet/internal/trace"
+)
+
+// UtilTables renders a link-utilization summary as two tables: per-tier
+// occupancy (phase wall-clock, summed link busy time, and a decile histogram
+// of per-link utilization) and the top contended links. A nil summary yields
+// no tables, so callers can pass a Report's Util field unconditionally.
+func UtilTables(s *trace.Summary) []*Table {
+	if s == nil {
+		return nil
+	}
+	tiers := New(fmt.Sprintf("Per-tier occupancy (horizon %v)", sim.Time(s.HorizonPs)),
+		"Tier", "Links", "PhaseBusy", "LinkBusy", "MeanUtil", "MaxUtil", "UtilDeciles")
+	for _, tu := range s.Tiers {
+		if tu.Links == 0 && tu.PhaseBusyPs == 0 {
+			continue
+		}
+		tiers.AddRow(
+			tu.Tier.String(),
+			fmt.Sprintf("%d", tu.Links),
+			Time(sim.Time(tu.PhaseBusyPs)),
+			Time(sim.Time(tu.LinkBusyPs)),
+			Pct(tu.MeanUtil),
+			Pct(tu.MaxUtil),
+			histCells(tu.Hist),
+		)
+	}
+	top := New("Most contended links", "Link", "Tier", "Busy", "Bytes", "Transfers", "Util")
+	for _, lu := range s.Top {
+		top.AddRow(
+			lu.Name,
+			lu.Tier.String(),
+			Time(sim.Time(lu.BusyPs)),
+			Bytes(lu.Bytes),
+			fmt.Sprintf("%d", lu.Transfers),
+			Pct(lu.Utilization),
+		)
+	}
+	out := make([]*Table, 0, 2)
+	if tiers.Rows() > 0 {
+		out = append(out, tiers)
+	}
+	if top.Rows() > 0 {
+		out = append(out, top)
+	}
+	return out
+}
+
+// histCells renders a utilization decile histogram as counts per bucket,
+// e.g. "14 2 . . . . . . . 1" (dot = empty bucket).
+func histCells(h [trace.HistBuckets]int) string {
+	cells := make([]string, len(h))
+	for i, c := range h {
+		if c == 0 {
+			cells[i] = "."
+		} else {
+			cells[i] = fmt.Sprintf("%d", c)
+		}
+	}
+	return strings.Join(cells, " ")
+}

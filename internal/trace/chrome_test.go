@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates testdata/chrome_golden.json:
+//
+//	go test ./internal/trace -run TestChromeGolden -update
+var update = flag.Bool("update", false, "regenerate testdata golden files")
+
+// sampleEvents is a fixed event sequence exercising every track type the
+// exporter lays out: tier phase spans, link occupancy, control spans,
+// host stages, and recovery events.
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindMemStage, Tier: TierNone, Name: "mram-stage", Start: 0, End: 1000, Bytes: 4096, From: -1, To: -1},
+		{Kind: KindSyncTree, Tier: TierNone, Name: "ready-start", Start: 1000, End: 1600, From: -1, To: -1},
+		{Kind: KindPhaseStart, Tier: TierBank, Name: "bank-RS", Start: 1600, End: 1600, From: -1, To: -1},
+		{Kind: KindLinkBusy, Tier: TierBank, Name: "bank-RS", Link: "ring[r0,c0,b0]", Start: 1600, End: 2600, Bytes: 512, From: 0, To: 1, Seq: 0},
+		{Kind: KindLinkBusy, Tier: TierBank, Name: "bank-RS", Link: "ring[r0,c0,b1]", Start: 1600, End: 2600, Bytes: 512, From: 1, To: 2, Seq: 0},
+		{Kind: KindLinkBusy, Tier: TierBank, Name: "bank-RS", Link: "ring[r0,c0,b0]", Start: 2600, End: 3600, Bytes: 512, From: 0, To: 1, Seq: 1},
+		{Kind: KindPhaseEnd, Tier: TierBank, Name: "bank-RS", Start: 1600, End: 3700, From: -1, To: -1},
+		{Kind: KindPhaseStart, Tier: TierChip, Name: "chip-RS", Start: 3700, End: 3700, From: -1, To: -1},
+		{Kind: KindLinkBusy, Tier: TierChip, Name: "chip-RS", Link: "dq-send[r0,c0]", Start: 3700, End: 4400, Bytes: 256, From: 0, To: -1, Seq: 0},
+		{Kind: KindPhaseEnd, Tier: TierChip, Name: "chip-RS", Start: 3700, End: 4500, From: -1, To: -1},
+		{Kind: KindFaultDetected, Tier: TierChip, Name: "phase chip-RS overran bound", Start: 4500, End: 4500, From: -1, To: -1},
+		{Kind: KindRetry, Tier: TierNone, Name: "retry backoff", Start: 4500, End: 5500, From: -1, To: -1, Seq: 1},
+		{Kind: KindReroute, Tier: TierNone, Name: "recompile", Start: 5500, End: 6500, From: -1, To: -1},
+		{Kind: KindFallback, Tier: TierNone, Name: "host-relay fallback", Start: 6500, End: 6500, From: -1, To: -1},
+		{Kind: KindHostStage, Tier: TierNone, Name: "gather-up", Start: 6500, End: 9000, Bytes: 8192, From: -1, To: -1},
+	}
+}
+
+func TestChromeGolden(t *testing.T) {
+	c := NewChrome()
+	for _, ev := range sampleEvents() {
+		c.Emit(ev)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("exporter output fails its own validator: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export drifted from %s; rerun with -update and review the diff\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestChromeDeterministic(t *testing.T) {
+	render := func() []byte {
+		c := NewChrome()
+		for _, ev := range sampleEvents() {
+			c.Emit(ev)
+		}
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("two exports of the same events differ")
+	}
+}
+
+func TestChromeAbsorbsPhaseStart(t *testing.T) {
+	c := NewChrome()
+	c.Emit(Event{Kind: KindPhaseStart, Name: "p"})
+	c.Emit(Event{Kind: KindPhaseEnd, Name: "p", Tier: TierBank, End: 10})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (PhaseStart absorbed)", c.Len())
+	}
+}
+
+func TestChromeWriteFile(t *testing.T) {
+	c := NewChrome()
+	c.Emit(Event{Kind: KindPhaseEnd, Name: "p", Tier: TierBank, Start: 0, End: 10, From: -1, To: -1})
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents":`,
+		"empty":         `{"traceEvents":[],"displayTimeUnit":"ns"}`,
+		"no name":       `{"traceEvents":[{"name":"","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]}`,
+		"bad phase":     `{"traceEvents":[{"name":"a","ph":"Z","ts":0,"pid":1,"tid":1}]}`,
+		"negative ts":   `{"traceEvents":[{"name":"t","ph":"M","pid":1,"tid":1},{"name":"a","ph":"X","ts":-1,"dur":1,"pid":1,"tid":1}]}`,
+		"missing dur":   `{"traceEvents":[{"name":"t","ph":"M","pid":1,"tid":1},{"name":"a","ph":"X","ts":0,"pid":1,"tid":1}]}`,
+		"zero pid":      `{"traceEvents":[{"name":"a","ph":"i","ts":0,"pid":0,"tid":1}]}`,
+		"unnamed track": `{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":1,"pid":1,"tid":7}]}`,
+	}
+	for label, data := range cases {
+		if err := ValidateChrome([]byte(data)); err == nil {
+			t.Errorf("%s: validator accepted invalid trace", label)
+		}
+	}
+	ok := `{"traceEvents":[{"name":"t","ph":"M","pid":1,"tid":1},` +
+		`{"name":"a","ph":"X","ts":0,"dur":1,"pid":1,"tid":1},` +
+		`{"name":"b","ph":"i","ts":2,"pid":1,"tid":1}]}`
+	if err := ValidateChrome([]byte(ok)); err != nil {
+		t.Errorf("validator rejected valid trace: %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+package trace
+
+// Recorder is a bounded in-memory tracer: the last capacity events are
+// kept in a ring buffer, so tracing a long run has fixed memory cost and
+// the recorder never allocates after construction. It is the tracer of
+// choice for tests and interactive inspection.
+type Recorder struct {
+	buf   []Event
+	next  int    // ring write cursor
+	total uint64 // events ever emitted
+}
+
+// DefaultRecorderCap bounds a Recorder built with capacity <= 0.
+const DefaultRecorderCap = 1 << 16
+
+// NewRecorder returns a recorder keeping the most recent capacity events
+// (DefaultRecorderCap when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCap
+	}
+	return &Recorder{buf: make([]Event, 0, capacity)}
+}
+
+// Emit implements Tracer. Once the ring is full, the oldest event is
+// overwritten in place: steady-state emission allocates nothing.
+func (r *Recorder) Emit(ev Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.buf) }
+
+// Total returns the number of events ever emitted.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Dropped returns how many events the ring has overwritten.
+func (r *Recorder) Dropped() uint64 { return r.total - uint64(len(r.buf)) }
+
+// Events returns the retained events in emission order (oldest first).
+// The slice is a copy; the recorder can keep emitting.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Reset drops all retained events but keeps the ring's capacity.
+func (r *Recorder) Reset() {
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.total = 0
+}

@@ -1,0 +1,168 @@
+package trace
+
+import "sort"
+
+// Util aggregates trace events into link-utilization statistics: per-tier
+// busy time (from phase spans, so the totals reconcile with the
+// metrics.Breakdown tier components), per-link occupancy, and utilization
+// histograms. It is a streaming tracer: memory is proportional to the
+// number of distinct links, not to the event count.
+type Util struct {
+	tierPhase [NumTiers]int64 // wall-clock per tier from KindPhaseEnd spans
+	links     map[string]*linkAgg
+	horizon   int64 // latest event end seen
+	events    uint64
+}
+
+// linkAgg is one link's accumulator.
+type linkAgg struct {
+	tier      Tier
+	busy      int64
+	bytes     int64
+	transfers int64
+}
+
+// NewUtil returns an empty aggregator.
+func NewUtil() *Util {
+	return &Util{links: make(map[string]*linkAgg)}
+}
+
+// Emit implements Tracer.
+func (u *Util) Emit(ev Event) {
+	u.events++
+	if ev.End > u.horizon {
+		u.horizon = ev.End
+	}
+	switch ev.Kind {
+	case KindPhaseEnd:
+		if ev.Tier >= 0 && int(ev.Tier) < NumTiers {
+			u.tierPhase[ev.Tier] += ev.End - ev.Start
+		}
+	case KindLinkBusy:
+		la := u.links[ev.Link]
+		if la == nil {
+			la = &linkAgg{tier: ev.Tier}
+			u.links[ev.Link] = la
+		}
+		la.busy += ev.End - ev.Start
+		la.bytes += ev.Bytes
+		la.transfers++
+	}
+}
+
+// Events returns the number of events aggregated.
+func (u *Util) Events() uint64 { return u.events }
+
+// Reset drops all accumulated statistics.
+func (u *Util) Reset() {
+	u.tierPhase = [NumTiers]int64{}
+	u.links = make(map[string]*linkAgg)
+	u.horizon = 0
+	u.events = 0
+}
+
+// HistBuckets is the number of utilization deciles in a tier histogram.
+const HistBuckets = 10
+
+// LinkUtil is one link's aggregated occupancy.
+type LinkUtil struct {
+	Name      string
+	Tier      Tier
+	BusyPs    int64
+	Bytes     int64
+	Transfers int64
+	// Utilization is BusyPs over the trace horizon (0 when empty).
+	Utilization float64
+}
+
+// TierUtil is one tier's aggregate.
+type TierUtil struct {
+	Tier Tier
+	// PhaseBusyPs is the tier's wall-clock from phase spans; it reconciles
+	// with the metrics.Breakdown component for the tier.
+	PhaseBusyPs int64
+	// LinkBusyPs sums serialization windows over the tier's links (can
+	// exceed PhaseBusyPs: parallel links overlap in wall-clock).
+	LinkBusyPs int64
+	// Links is the number of distinct links observed on the tier.
+	Links int
+	// Hist buckets the tier's links by utilization decile ([0] is
+	// 0–10%, [9] is 90–100%).
+	Hist [HistBuckets]int
+	// MeanUtil and MaxUtil summarize the tier's link utilizations.
+	MeanUtil, MaxUtil float64
+}
+
+// Summary is a point-in-time digest of the aggregator.
+type Summary struct {
+	// HorizonPs is the latest event end: the denominator of every
+	// utilization figure.
+	HorizonPs int64
+	Events    uint64
+	Tiers     []TierUtil
+	// Top lists the most-contended links, by busy time descending (name
+	// ascending on ties).
+	Top []LinkUtil
+}
+
+// DefaultTopN is the contended-links table length used by reports.
+const DefaultTopN = 10
+
+// Summary digests the aggregator. topN bounds the contended-links table
+// (DefaultTopN when <= 0). The aggregator remains usable.
+func (u *Util) Summary(topN int) *Summary {
+	if topN <= 0 {
+		topN = DefaultTopN
+	}
+	s := &Summary{HorizonPs: u.horizon, Events: u.events}
+	all := make([]LinkUtil, 0, len(u.links))
+	for name, la := range u.links {
+		lu := LinkUtil{Name: name, Tier: la.tier, BusyPs: la.busy,
+			Bytes: la.bytes, Transfers: la.transfers}
+		if u.horizon > 0 {
+			lu.Utilization = float64(la.busy) / float64(u.horizon)
+		}
+		all = append(all, lu)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].BusyPs != all[j].BusyPs {
+			return all[i].BusyPs > all[j].BusyPs
+		}
+		return all[i].Name < all[j].Name
+	})
+	s.Tiers = make([]TierUtil, NumTiers)
+	for t := 0; t < NumTiers; t++ {
+		s.Tiers[t].Tier = Tier(t)
+		s.Tiers[t].PhaseBusyPs = u.tierPhase[t]
+	}
+	for _, lu := range all {
+		if lu.Tier < 0 || int(lu.Tier) >= NumTiers {
+			continue
+		}
+		tu := &s.Tiers[lu.Tier]
+		tu.LinkBusyPs += lu.BusyPs
+		tu.Links++
+		tu.MeanUtil += lu.Utilization
+		if lu.Utilization > tu.MaxUtil {
+			tu.MaxUtil = lu.Utilization
+		}
+		b := int(lu.Utilization * HistBuckets)
+		if b >= HistBuckets {
+			b = HistBuckets - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		tu.Hist[b]++
+	}
+	for t := range s.Tiers {
+		if s.Tiers[t].Links > 0 {
+			s.Tiers[t].MeanUtil /= float64(s.Tiers[t].Links)
+		}
+	}
+	if len(all) > topN {
+		all = all[:topN]
+	}
+	s.Top = all
+	return s
+}

@@ -37,6 +37,8 @@
 package pimnet
 
 import (
+	"fmt"
+
 	"pimnet/internal/backend"
 	"pimnet/internal/baselines"
 	"pimnet/internal/collective"
@@ -120,47 +122,59 @@ func DefaultSystem() System { return config.Default() }
 func UPMEMServer() System { return config.UPMEMServer() }
 
 // NewPIMnet builds the paper's proposed interconnect for one channel.
-func NewPIMnet(sys System) (*core.PIMnet, error) { return core.NewPIMnet(sys) }
+// Construction options configure tracing, fault injection, and plan-cache
+// sharing:
+//
+//	p, _ := pimnet.NewPIMnet(sys,
+//	    pimnet.WithTracer(chrome),
+//	    pimnet.WithFaults(spec),
+//	    pimnet.WithFallback(baseline))
+func NewPIMnet(sys System, opts ...Option) (*core.PIMnet, error) {
+	return newPIMnetWith(sys, applyOptions(opts))
+}
 
 // NewBaseline builds the measured host-relayed path.
+//
+// Deprecated: use NewBackend(Baseline, sys, opts...). Kept for callers that
+// need the concrete *host.Path type.
 func NewBaseline(sys System) (*host.Path, error) { return host.NewBaseline(sys) }
 
 // NewIdealSoftware builds the zero-overhead software upper bound.
+//
+// Deprecated: use NewBackend(IdealSoftware, sys, opts...). Kept for callers
+// that need the concrete *host.Path type.
 func NewIdealSoftware(sys System) (*host.Path, error) { return host.NewIdeal(sys) }
 
 // NewDIMMLink builds the DIMM-Link prior-work model.
+//
+// Deprecated: use NewBackend(DIMMLink, sys, opts...). Kept for callers that
+// need the concrete *baselines.DIMMLink type.
 func NewDIMMLink(sys System) (*baselines.DIMMLink, error) { return baselines.NewDIMMLink(sys) }
 
 // NewNDPBridge builds the NDPBridge prior-work model.
+//
+// Deprecated: use NewBackend(NDPBridge, sys, opts...). Kept for callers that
+// need the concrete *baselines.NDPBridge type.
 func NewNDPBridge(sys System) (*baselines.NDPBridge, error) { return baselines.NewNDPBridge(sys) }
 
 // NewMachine binds a system and a backend into a workload runner.
 func NewMachine(sys System, be Backend) (*Machine, error) { return machine.New(sys, be) }
 
-// Backends builds all five comparison backends for one system shape, in
-// the paper's figure order (B, S, N, D, P).
-func Backends(sys System) ([]Backend, error) {
-	b, err := host.NewBaseline(sys)
-	if err != nil {
-		return nil, err
+// Backends builds all five comparison backends for one system shape, in the
+// paper's figure order (B, S, N, D, P). The option list is applied to every
+// backend; options a kind does not support are ignored for that kind, so one
+// tracer (or fault spec) configures the whole comparison set.
+func Backends(sys System, opts ...Option) ([]Backend, error) {
+	kinds := BackendKinds()
+	out := make([]Backend, 0, len(kinds))
+	for _, k := range kinds {
+		be, err := NewBackend(k, sys, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("pimnet: building %v backend: %w", k, err)
+		}
+		out = append(out, be)
 	}
-	s, err := host.NewIdeal(sys)
-	if err != nil {
-		return nil, err
-	}
-	n, err := baselines.NewNDPBridge(sys)
-	if err != nil {
-		return nil, err
-	}
-	d, err := baselines.NewDIMMLink(sys)
-	if err != nil {
-		return nil, err
-	}
-	p, err := core.NewPIMnet(sys)
-	if err != nil {
-		return nil, err
-	}
-	return []Backend{b, s, n, d, p}, nil
+	return out, nil
 }
 
 // EvaluationSuite builds the paper's eight workloads (Table VII) for the
@@ -185,21 +199,9 @@ func NewFaultModel(spec FaultSpec, sys System) (*FaultModel, error) {
 // NewFaultyPIMnet builds the PIMnet backend with a fault model armed and the
 // host-relay baseline as its degradation fallback. With an empty spec the
 // backend still runs the detection machinery but reports healthy latencies.
+//
+// Deprecated: use NewPIMnet(sys, WithFaults(spec)), which has identical
+// semantics and composes with the other construction options.
 func NewFaultyPIMnet(sys System, spec FaultSpec) (*core.PIMnet, error) {
-	m, err := NewFaultModel(spec, sys)
-	if err != nil {
-		return nil, err
-	}
-	p, err := core.NewPIMnet(sys)
-	if err != nil {
-		return nil, err
-	}
-	fb, err := host.NewBaseline(sys)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.EnableFaults(m, fb); err != nil {
-		return nil, err
-	}
-	return p, nil
+	return NewPIMnet(sys, WithFaults(spec))
 }
