@@ -9,7 +9,7 @@ GO ?= go
 COVER_PKGS = ./internal/core ./internal/sweep
 COVER_FLOOR = 80
 
-.PHONY: build test check cover fuzz bench benchcmp profile golden trace-smoke
+.PHONY: build test vet check cover fuzz bench benchcmp profile golden trace-smoke serve-smoke
 
 # Benchmarks gated by the regression check (make benchcmp). Engine covers the
 # event queue, Execute covers the plan-replay hot path.
@@ -22,12 +22,15 @@ build:
 test:
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 # The CI gate: static analysis, the race-enabled suite, and the coverage
 # floor must all pass. The benchmark-regression gate runs soft by default
 # (benchmarks are noisy on shared machines); set BENCH_STRICT=1 to make a
 # regression fail the build.
 check:
-	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) cover && $(MAKE) trace-smoke
+	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) cover && $(MAKE) trace-smoke && $(MAKE) serve-smoke
 	@if [ "$(BENCH_STRICT)" = "1" ]; then \
 		$(MAKE) benchcmp; \
 	else \
@@ -81,6 +84,11 @@ profile: build
 # executor change; review the diff before committing.
 golden:
 	$(GO) test ./internal/core -run TestGoldenTraces -update
+
+# Serve smoke test: boot pimnetd on an ephemeral port, hit every endpoint,
+# and prove the SIGTERM drain exits 0 — the daemon's end-to-end contract.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Trace smoke test: a traced 256-DPU AllReduce must produce schema-valid
 # Chrome trace_event JSON (the Perfetto-loadability contract of -trace-out).

@@ -33,6 +33,7 @@ import (
 	"pimnet/internal/report"
 	"pimnet/internal/sweep"
 	"pimnet/internal/trace"
+	"pimnet/internal/version"
 )
 
 func main() {
@@ -46,8 +47,13 @@ func main() {
 	traceOut := flag.String("trace", "", "write a runtime execution trace to `file`")
 	simTrace := flag.String("trace-out", "", "with -fig trace: write the simulated run as Chrome trace_event JSON to `file`")
 	traceLevel := flag.String("trace-level", "link", "simulator trace detail for -fig trace: phase | link")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	stop, err := profiling.Start(profiling.Config{
 		CPUProfile: *cpuprofile, MemProfile: *memprofile, Trace: *traceOut})
 	if err != nil {

@@ -1,0 +1,108 @@
+// Command pimnetd serves the simulator as a long-running HTTP/JSON daemon:
+// experiment points go in, deterministic latency results come out, and every
+// request compiles through one process-wide plan cache.
+//
+// Usage:
+//
+//	pimnetd -addr 127.0.0.1:8080
+//	pimnetd -addr :0 -max-inflight 8 -queue-depth 32 -timeout 10s
+//
+// Endpoints:
+//
+//	POST /v1/simulate  one experiment point (collective or workload)
+//	POST /v1/sweep     a DPUs x bytes grid on the parallel sweep engine
+//	GET  /healthz      liveness (503 once draining)
+//	GET  /metrics      request/error/coalesce counters, plan-cache and sweep
+//	                   aggregates, latency histogram
+//
+// The daemon sheds load with 503 + Retry-After once -max-inflight requests
+// are executing and -queue-depth more are waiting, coalesces concurrent
+// identical /v1/simulate requests onto one execution, and bounds every
+// request by -timeout. On SIGINT/SIGTERM it stops accepting work, drains
+// in-flight requests for up to -grace, and exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pimnet/internal/serve"
+	"pimnet/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks an ephemeral port)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", -1, "max requests waiting for a slot (-1 = 4x max-inflight, 0 = no queue)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
+	grace := flag.Duration("grace", 15*time.Second, "drain deadline after SIGINT/SIGTERM")
+	maxBody := flag.Int64("max-body-bytes", 1<<20, "max request body size in bytes")
+	maxSweepPoints := flag.Int("max-sweep-points", 4096, "max grid points in one /v1/sweep request")
+	maxSweepWorkers := flag.Int("max-sweep-workers", 0, "max worker pool per sweep request (0 = GOMAXPROCS)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+	if err := run(*addr, *grace, serve.Config{
+		MaxInFlight:     *maxInFlight,
+		QueueDepth:      *queueDepth,
+		Timeout:         *timeout,
+		MaxBodyBytes:    *maxBody,
+		MaxSweepPoints:  *maxSweepPoints,
+		MaxSweepWorkers: *maxSweepWorkers,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "pimnetd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains: the serving core refuses new
+// experiment requests (healthz turns 503 so load balancers stop routing
+// here) while requests already admitted run to completion, bounded by grace.
+func run(addr string, grace time.Duration, cfg serve.Config) error {
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pimnetd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: s}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Println("pimnetd: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := s.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("pimnetd: drained, exiting")
+	return nil
+}

@@ -46,6 +46,7 @@ import (
 	"pimnet/internal/report"
 	"pimnet/internal/sweep"
 	"pimnet/internal/trace"
+	"pimnet/internal/version"
 )
 
 var patterns = map[string]pimnet.Pattern{
@@ -106,8 +107,13 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to `file`")
 	flag.StringVar(&o.simTrace, "trace-out", "", "record the simulated run as Chrome trace_event JSON in `file` (Perfetto-loadable)")
 	flag.StringVar(&o.traceLevel, "trace-level", "link", "simulator trace detail: phase | link")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	if err := validate(o); err != nil {
 		fmt.Fprintln(os.Stderr, "pimnetsim:", err)
 		os.Exit(2)

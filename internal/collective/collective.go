@@ -10,7 +10,10 @@
 // the collective's result.
 package collective
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Pattern is a collective-communication pattern.
 type Pattern int
@@ -43,6 +46,43 @@ func (p Pattern) String() string {
 		return s
 	}
 	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Patterns lists every supported pattern in declaration order.
+func Patterns() []Pattern {
+	return []Pattern{ReduceScatter, AllGather, AllReduce, AllToAll, Broadcast, Gather, Reduce}
+}
+
+// ParsePattern resolves a pattern name case-insensitively ("allreduce",
+// "AllReduce", ...), the syntax every CLI flag and serving-request field
+// uses.
+func ParsePattern(s string) (Pattern, error) {
+	want := strings.ToLower(strings.TrimSpace(s))
+	for p, name := range patternNames {
+		if strings.ToLower(name) == want {
+			return p, nil
+		}
+	}
+	names := make([]string, 0, len(patternNames))
+	for _, p := range Patterns() {
+		names = append(names, strings.ToLower(patternNames[p]))
+	}
+	return 0, fmt.Errorf("collective: unknown pattern %q (want one of %s)", s, strings.Join(names, ", "))
+}
+
+// ParseOp resolves a reduction-operator name case-insensitively.
+func ParseOp(s string) (Op, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sum":
+		return Sum, nil
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	case "or":
+		return Or, nil
+	}
+	return 0, fmt.Errorf("collective: unknown op %q (want sum, min, max, or or)", s)
 }
 
 // Rooted reports whether the pattern has a distinguished root node.

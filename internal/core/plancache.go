@@ -3,6 +3,7 @@ package core
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -209,6 +210,28 @@ type PlanKey struct {
 // KeyFor returns the cache key for compiling req on n as configured.
 func KeyFor(n *Network, req collective.Request) PlanKey {
 	return PlanKey{Sys: n.Sys, Req: req, StepOverheadPs: n.stepOverheadPs}
+}
+
+// KeyForSystem returns the cache key a network built from sys with the given
+// step overhead would produce for req, without constructing the network.
+// This is the serving tier's request identity: two requests with equal keys
+// compile to the same blueprint, so a server can coalesce them onto one
+// execution before any simulation state exists. It must stay consistent with
+// KeyFor (locked in by TestKeyForSystemMatchesKeyFor).
+func KeyForSystem(sys config.System, req collective.Request, stepOverheadPs int64) PlanKey {
+	return PlanKey{Sys: sys, Req: req, StepOverheadPs: stepOverheadPs}
+}
+
+// Digest returns a hex SHA-256 over the key's canonical JSON encoding — a
+// stable string form of the compilation point for logs, coalescing maps, and
+// response bodies. PlanKey contains only scalar fields, so the encoding
+// cannot fail and two equal keys always digest identically.
+func (k PlanKey) Digest() string {
+	b, err := json.Marshal(k)
+	if err != nil {
+		panic(fmt.Sprintf("core: plan key not encodable: %v", err))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness counters.

@@ -236,3 +236,42 @@ func FuzzPlanCacheKey(f *testing.F) {
 		}
 	})
 }
+
+// TestKeyForSystemMatchesKeyFor: the network-free key path the serving tier
+// uses must agree with the key a built network produces, for both the default
+// and a configured step overhead.
+func TestKeyForSystemMatchesKeyFor(t *testing.T) {
+	n := testNet(t, 64)
+	req := testReq(collective.AllReduce, 64, 4096)
+	if got, want := KeyForSystem(n.Sys, req, 0), KeyFor(n, req); got != want {
+		t.Fatalf("KeyForSystem = %+v, KeyFor = %+v", got, want)
+	}
+	n.SetStepOverhead(250)
+	if got, want := KeyForSystem(n.Sys, req, 250), KeyFor(n, req); got != want {
+		t.Fatalf("with overhead: KeyForSystem = %+v, KeyFor = %+v", got, want)
+	}
+}
+
+// TestPlanKeyDigest: equal keys digest identically; any single-parameter
+// change produces a different digest.
+func TestPlanKeyDigest(t *testing.T) {
+	n := testNet(t, 64)
+	req := testReq(collective.AllReduce, 64, 4096)
+	k := KeyFor(n, req)
+	if k.Digest() != KeyForSystem(n.Sys, req, 0).Digest() {
+		t.Fatal("equal keys digest differently")
+	}
+	variants := []PlanKey{
+		KeyForSystem(n.Sys, testReq(collective.AllGather, 64, 4096), 0),
+		KeyForSystem(n.Sys, testReq(collective.AllReduce, 64, 8192), 0),
+		KeyForSystem(n.Sys, req, 77),
+	}
+	seen := map[string]bool{k.Digest(): true}
+	for i, v := range variants {
+		d := v.Digest()
+		if seen[d] {
+			t.Fatalf("variant %d digest collides: %s", i, d)
+		}
+		seen[d] = true
+	}
+}

@@ -62,25 +62,27 @@ func (w Workload) TotalCollectiveBytes() int64 {
 
 // Report is the outcome of one workload execution. Report is comparable
 // with ==; the fault-determinism regression test relies on two identically
-// seeded runs producing identical values.
+// seeded runs producing identical values. The json tags define the wire
+// schema the serving daemon (internal/serve) returns for workload requests;
+// every field is deterministic, so equal runs marshal to identical bytes.
 type Report struct {
-	Workload  string
-	Backend   string
-	Total     sim.Time
-	Breakdown metrics.Breakdown
+	Workload  string            `json:"workload"`
+	Backend   string            `json:"backend"`
+	Total     sim.Time          `json:"total_ps"`
+	Breakdown metrics.Breakdown `json:"breakdown"`
 	// Faults holds the recovery-ladder counters this run incurred (zero
 	// unless the backend carries a fault model).
-	Faults metrics.FaultCounters
+	Faults metrics.FaultCounters `json:"faults"`
 	// Degraded reports whether any collective completed in degraded mode:
 	// on a recompiled route, an accepted slow network, or the host-relay
 	// fallback.
-	Degraded bool
+	Degraded bool `json:"degraded"`
 	// Util holds the link-utilization summary when the backend ran with a
 	// trace.Util aggregator attached; nil on untraced runs. A pointer keeps
 	// Report comparable with == (the fault-determinism tests compare
 	// reports), and untraced reports — the only ones those tests build —
 	// leave it nil.
-	Util *trace.Summary
+	Util *trace.Summary `json:"util,omitempty"`
 }
 
 // FaultAware is implemented by backends that carry a fault model (PIMnet

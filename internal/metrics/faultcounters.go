@@ -15,11 +15,11 @@ import "fmt"
 //
 // The zero value is ready to use.
 type FaultCounters struct {
-	Injected   uint64
-	Detected   uint64
-	Retried    uint64
-	Recompiled uint64
-	Degraded   uint64
+	Injected   uint64 `json:"injected"`
+	Detected   uint64 `json:"detected"`
+	Retried    uint64 `json:"retried"`
+	Recompiled uint64 `json:"recompiled"`
+	Degraded   uint64 `json:"degraded"`
 }
 
 // Any reports whether any counter is nonzero.

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -127,6 +128,55 @@ func (b *Breakdown) Fraction(c Component) float64 {
 
 // Reset zeroes the breakdown.
 func (b *Breakdown) Reset() { b.t = [numComponents]sim.Time{} }
+
+// Map returns the nonzero components keyed by their canonical names, in
+// picoseconds. This is the JSON/wire form of a breakdown.
+func (b Breakdown) Map() map[string]sim.Time {
+	out := make(map[string]sim.Time)
+	for i, v := range b.t {
+		if v > 0 {
+			out[componentNames[i]] = v
+		}
+	}
+	return out
+}
+
+// MarshalJSON encodes the breakdown as its component map, e.g.
+// {"inter-bank":1200,"sync":300}. encoding/json sorts map keys, so equal
+// breakdowns always encode to identical bytes — the serving tier's
+// bit-identical-response contract depends on this.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	return json.Marshal(b.Map())
+}
+
+// UnmarshalJSON decodes the component-map form produced by MarshalJSON.
+// Unknown component names are an error (they indicate a schema mismatch, not
+// a forward-compatible extension: the component set is the paper's fixed
+// attribution taxonomy).
+func (b *Breakdown) UnmarshalJSON(data []byte) error {
+	var m map[string]sim.Time
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	b.Reset()
+	for name, v := range m {
+		if v < 0 {
+			return fmt.Errorf("metrics: negative time %d for component %q", v, name)
+		}
+		found := false
+		for i, n := range componentNames {
+			if n == name {
+				b.Add(Component(i), v)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("metrics: unknown breakdown component %q", name)
+		}
+	}
+	return nil
+}
 
 // String renders the nonzero components, largest first.
 func (b *Breakdown) String() string {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -113,5 +114,44 @@ func TestReset(t *testing.T) {
 	b.Reset()
 	if b.Total() != 0 {
 		t.Fatal("Reset left residue")
+	}
+}
+
+func TestBreakdownJSONRoundTrip(t *testing.T) {
+	var b Breakdown
+	b.Add(Compute, 10*sim.Microsecond)
+	b.Add(InterBank, 3*sim.Nanosecond)
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map keys are sorted by encoding/json: equal breakdowns must encode to
+	// identical bytes (the serving tier's bit-identical-response contract).
+	data2, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("non-deterministic encoding: %s vs %s", data, data2)
+	}
+	var back Breakdown
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != b {
+		t.Fatalf("round trip: got %v, want %v", back.String(), b.String())
+	}
+}
+
+func TestBreakdownUnmarshalRejectsBadInput(t *testing.T) {
+	var b Breakdown
+	if err := json.Unmarshal([]byte(`{"no-such-component":1}`), &b); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"compute":-5}`), &b); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	if err := json.Unmarshal([]byte(`[1,2]`), &b); err == nil {
+		t.Fatal("non-object accepted")
 	}
 }

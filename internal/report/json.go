@@ -1,0 +1,39 @@
+package report
+
+import (
+	"time"
+
+	"pimnet/internal/metrics"
+)
+
+// SweepStatsJSON is the wire form of metrics.SweepStats used by the serving
+// daemon's /metrics endpoint and sweep responses. Wall-clock figures are
+// measurement metadata: they vary run to run and are therefore kept out of
+// the deterministic result payloads, never mixed into them.
+type SweepStatsJSON struct {
+	Points          int     `json:"points"`
+	Workers         int     `json:"workers"`
+	WallMs          float64 `json:"wall_ms"`
+	MeanPointWallMs float64 `json:"mean_point_wall_ms"`
+	MaxPointWallMs  float64 `json:"max_point_wall_ms"`
+	CacheHits       uint64  `json:"plan_cache_hits"`
+	CacheMisses     uint64  `json:"plan_cache_misses"`
+	CacheHitRate    float64 `json:"plan_cache_hit_rate"`
+	CacheEntries    int     `json:"plan_cache_entries"`
+}
+
+// NewSweepStatsJSON converts sweep execution statistics to their wire form.
+func NewSweepStatsJSON(s metrics.SweepStats) SweepStatsJSON {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return SweepStatsJSON{
+		Points:          s.Points,
+		Workers:         s.Workers,
+		WallMs:          ms(s.Wall),
+		MeanPointWallMs: ms(s.MeanPointWall()),
+		MaxPointWallMs:  ms(s.MaxPointWall()),
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+		CacheHitRate:    s.HitRate(),
+		CacheEntries:    s.CacheEntries,
+	}
+}

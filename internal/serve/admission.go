@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated is returned by gate.acquire when both the execution slots and
+// the waiting queue are full — the signal the handler turns into
+// 503 + Retry-After. Shedding at admission keeps goroutine growth bounded by
+// slots+queue no matter how fast requests arrive.
+var errSaturated = errors.New("serve: admission queue saturated")
+
+// gate is the bounded admission queue: at most slots requests execute
+// concurrently and at most queue more wait for a slot. Everything beyond
+// that is rejected immediately.
+type gate struct {
+	sem   chan struct{}
+	slots int
+	queue int
+	// admitted counts requests holding a queue position or an execution
+	// slot; it is the saturation test and the /metrics queue gauge input.
+	admitted atomic.Int64
+}
+
+func newGate(slots, queue int) *gate {
+	return &gate{sem: make(chan struct{}, slots), slots: slots, queue: queue}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. It fails fast with errSaturated when the queue is full and
+// with ctx's error when the request deadline expires while queued.
+func (g *gate) acquire(ctx context.Context) error {
+	if n := g.admitted.Add(1); n > int64(g.slots+g.queue) {
+		g.admitted.Add(-1)
+		return errSaturated
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		g.admitted.Add(-1)
+		return ctx.Err()
+	}
+}
+
+// release frees the slot claimed by a successful acquire.
+func (g *gate) release() {
+	<-g.sem
+	g.admitted.Add(-1)
+}
+
+// waiting returns the number of requests currently queued (admitted but not
+// executing).
+func (g *gate) waiting() int64 {
+	n := g.admitted.Load() - int64(len(g.sem))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

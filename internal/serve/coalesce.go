@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// response is one fully rendered HTTP outcome: status plus a marshaled JSON
+// body. Coalesced followers receive the leader's response verbatim, which is
+// what makes duplicate answers byte-identical by construction.
+type response struct {
+	status     int
+	body       []byte
+	retryAfter bool
+}
+
+// flight is one in-progress execution that duplicate requests can join.
+type flight struct {
+	done chan struct{}
+	resp response
+}
+
+// flightGroup implements single-flight coalescing over flightKey: the first
+// request for a key becomes the leader and executes; concurrent duplicates
+// wait for the leader's response instead of occupying admission slots. A
+// flight ends when the leader publishes its response — later identical
+// requests start a fresh flight (simulations are deterministic, so they get
+// the same bytes either way; the shared plan cache makes the re-execution
+// cheap).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[flightKey]*flight
+}
+
+// join returns the key's flight and whether the caller is its leader.
+func (g *flightGroup) join(k flightKey) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[flightKey]*flight)
+	}
+	if f, ok := g.m[k]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[k] = f
+	return f, true
+}
+
+// finish publishes the leader's response and wakes every follower. The
+// leader must always call it, including on error paths — an unfinished
+// flight would strand followers until their deadlines.
+func (g *flightGroup) finish(k flightKey, f *flight, resp response) {
+	g.mu.Lock()
+	delete(g.m, k)
+	g.mu.Unlock()
+	f.resp = resp
+	close(f.done)
+}
+
+// wait blocks until the flight completes or ctx expires.
+func (f *flight) wait(ctx context.Context) (response, error) {
+	select {
+	case <-f.done:
+		return f.resp, nil
+	case <-ctx.Done():
+		return response{}, ctx.Err()
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"pimnet"
+	"pimnet/internal/core"
+	"pimnet/internal/machine"
+	"pimnet/internal/report"
+	"pimnet/internal/sweep"
+	"pimnet/internal/trace"
+)
+
+// buildBackend constructs the point's backend with the process-wide plan
+// cache attached (only the PIMnet backend — the one that compiles plans —
+// uses it) and, when requested, a fault model and a link-utilization
+// tracer. Every request builds its own backend: simulation engines are
+// single-owner types, so the only state requests share is the cache, whose
+// entries are immutable blueprints.
+func (s *Server) buildBackend(pt simPoint) (pimnet.Backend, *trace.Util, error) {
+	opts := []pimnet.Option{pimnet.WithPlanCache(s.cache)}
+	var util *trace.Util
+	if pt.trace != "" {
+		lvl, err := pimnet.ParseTraceLevel(pt.trace)
+		if err != nil {
+			return nil, nil, err
+		}
+		util = trace.NewUtil()
+		opts = append(opts, pimnet.WithTracer(util), pimnet.WithTraceLevel(lvl))
+	}
+	if pt.faults != "" {
+		spec, err := pimnet.ParseFaultSpec(pt.faults)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec.Seed = pt.seedF
+		opts = append(opts, pimnet.WithFaults(spec))
+	}
+	be, err := pimnet.NewBackend(pt.kind, pt.sys, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pt.overhead != 0 {
+		if p, ok := be.(*core.PIMnet); ok {
+			p.Network().SetStepOverhead(pt.overhead)
+		}
+	}
+	return be, util, nil
+}
+
+// executeSimulate runs one validated point to a rendered response. Errors
+// from well-formed requests the backend cannot execute (an unsupported
+// pattern, an unrecoverable fault set) are 422s; everything here is
+// deterministic, so equal points always render equal bytes.
+func (s *Server) executeSimulate(ctx context.Context, echo SimulateRequest, pt simPoint) response {
+	if err := ctx.Err(); err != nil {
+		return deadlineResponse(err)
+	}
+	be, util, err := s.buildBackend(pt)
+	if err != nil {
+		return errorResponse(http.StatusUnprocessableEntity, err)
+	}
+	resp := SimulateResponse{Request: echo, Backend: be.Name(), PlanKey: pt.planKey().Digest()}
+
+	if pt.workload != "" {
+		wl, err := findWorkload(pt.workload, pt.sys.DPUsPerChannel(), pt.seed, pt.scaled)
+		if err != nil {
+			return errorResponse(http.StatusUnprocessableEntity, err)
+		}
+		m, err := machine.New(pt.sys, be)
+		if err != nil {
+			return errorResponse(http.StatusUnprocessableEntity, err)
+		}
+		rep, err := m.Run(*wl)
+		if err != nil {
+			return errorResponse(http.StatusUnprocessableEntity, err)
+		}
+		resp.Report = &rep
+		return okResponse(resp)
+	}
+
+	res, err := be.Collective(pt.req)
+	if err != nil {
+		return errorResponse(http.StatusUnprocessableEntity, err)
+	}
+	resp.TimePs = res.Time
+	resp.Time = res.Time.String()
+	resp.Breakdown = &res.Breakdown
+	if fa, ok := be.(machine.FaultAware); ok && pt.faults != "" {
+		fc := fa.FaultCounters()
+		deg := fa.DegradedMode()
+		resp.Faults, resp.Degraded = &fc, &deg
+	}
+	if util != nil {
+		resp.Util = util.Summary(trace.DefaultTopN)
+	}
+	return okResponse(resp)
+}
+
+// findWorkload builds the evaluation suite for the population and resolves
+// the canonical workload by its base name (suite entries may carry a size
+// suffix, e.g. "GEMV-4096x4096").
+func findWorkload(name string, nodes int, seed int64, scaled bool) (*pimnet.Workload, error) {
+	suite, err := pimnet.EvaluationSuite(nodes, seed, scaled)
+	if err != nil {
+		return nil, err
+	}
+	for i := range suite {
+		base, _, _ := strings.Cut(suite[i].Name, "-")
+		if strings.EqualFold(base, name) {
+			return &suite[i], nil
+		}
+	}
+	return nil, fmt.Errorf("workload %q not in the evaluation suite", name)
+}
+
+// executeSweep fans the request's grid onto the parallel sweep engine. The
+// determinism contract is inherited wholesale: every point owns its backend,
+// points share only the plan cache, and results arrive in grid order
+// regardless of worker count. Cancellation propagates through
+// sweep.WithContext, so an expired request deadline stops scheduling new
+// points promptly.
+func (s *Server) executeSweep(ctx context.Context, req SweepRequest, points []simPoint) response {
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.MaxSweepWorkers {
+		workers = s.cfg.MaxSweepWorkers
+	}
+	results, stats, err := sweep.Run(points, func(c *sweep.Context, pt simPoint) (SweepPoint, error) {
+		be, _, err := s.buildBackend(pt)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		res, err := be.Collective(pt.req)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{
+			DPUs:         pt.req.Nodes,
+			BytesPerNode: pt.req.BytesPerNode,
+			TimePs:       res.Time,
+			Time:         res.Time.String(),
+			Breakdown:    res.Breakdown,
+			PlanKey:      pt.planKey().Digest(),
+		}, nil
+	}, sweep.WithWorkers(workers), sweep.WithCache(s.cache), sweep.WithContext(ctx))
+	s.met.mergeSweep(stats)
+	if err != nil {
+		if ctx.Err() != nil {
+			return deadlineResponse(ctx.Err())
+		}
+		return errorResponse(http.StatusUnprocessableEntity, err)
+	}
+	return okResponse(SweepResponse{
+		Backend: req.Backend,
+		Pattern: req.Pattern,
+		Points:  results,
+		Stats:   report.NewSweepStatsJSON(stats),
+	})
+}

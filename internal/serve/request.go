@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"pimnet"
+	"pimnet/internal/collective"
+	"pimnet/internal/core"
+	"pimnet/internal/machine"
+	"pimnet/internal/metrics"
+	"pimnet/internal/report"
+	"pimnet/internal/sim"
+	"pimnet/internal/trace"
+)
+
+// SimulateRequest is the wire form of POST /v1/simulate: one experiment
+// point. Absent fields take the documented defaults, so {"pattern":
+// "allreduce"} is a complete request. Unknown fields are rejected (a typoed
+// field silently taking a default would corrupt a study).
+type SimulateRequest struct {
+	// Backend selects the communication substrate: baseline, ideal,
+	// ndpbridge, dimmlink, or pimnet (default).
+	Backend string `json:"backend,omitempty"`
+	// Pattern is the collective pattern (default allreduce). Ignored when
+	// Workload is set.
+	Pattern string `json:"pattern,omitempty"`
+	// Op is the reduction operator: sum (default), min, max, or.
+	Op string `json:"op,omitempty"`
+	// BytesPerNode is the per-DPU payload (default 32768).
+	BytesPerNode int64 `json:"bytes_per_node,omitempty"`
+	// ElemSize is the element width in bytes (default 4).
+	ElemSize int `json:"elem_size,omitempty"`
+	// DPUs is the single-channel DPU population (default 256; power-of-two
+	// shapes of the paper's hierarchy).
+	DPUs int `json:"dpus,omitempty"`
+	// Root is the root node of rooted patterns (broadcast, gather, reduce).
+	Root int `json:"root,omitempty"`
+	// Workload, when set, runs a named Table VII workload (BFS, CC, GEMV,
+	// MLP, SpMV, EMB, NTT, Join) instead of a single collective.
+	Workload string `json:"workload,omitempty"`
+	// Scaled selects reduced workload inputs (default true; workload only).
+	Scaled *bool `json:"scaled,omitempty"`
+	// Seed selects the workload input generator seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Faults injects a deterministic fault spec into the pimnet backend,
+	// e.g. "fail-chip=1,corrupt=0.05".
+	Faults string `json:"faults,omitempty"`
+	// FaultSeed selects the reproducible fault placement (default 1).
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// StepOverheadPs charges a fixed per-step guard in the compiled
+	// schedule (pimnet backend only; part of the plan-cache key).
+	StepOverheadPs int64 `json:"step_overhead_ps,omitempty"`
+	// TraceLevel, when "phase" or "link", runs with a link-utilization
+	// aggregator attached and includes its summary in the response.
+	TraceLevel string `json:"trace_level,omitempty"`
+}
+
+// SimulateResponse is the wire form of a successful simulate execution.
+// Every field is a pure function of the normalized request, so identical
+// payloads always marshal to byte-identical responses — the property the
+// coalescing layer and the shared plan cache rely on.
+type SimulateResponse struct {
+	// Request echoes the normalized request (defaults applied).
+	Request SimulateRequest `json:"request"`
+	// Backend is the canonical backend name ("PIMnet", "Baseline", ...).
+	Backend string `json:"backend"`
+	// PlanKey is the hex digest of the compilation point
+	// (core.PlanKey.Digest): the identity under which concurrent duplicates
+	// coalesce and plan-cache entries bind.
+	PlanKey string `json:"plan_key"`
+	// TimePs / Time are the end-to-end simulated latency of a collective
+	// run (absent for workload runs, which report through Report).
+	TimePs    sim.Time           `json:"time_ps,omitempty"`
+	Time      string             `json:"time,omitempty"`
+	Breakdown *metrics.Breakdown `json:"breakdown,omitempty"`
+	// Faults and Degraded surface the recovery ladder's outcome when a
+	// fault model was armed.
+	Faults   *metrics.FaultCounters `json:"faults,omitempty"`
+	Degraded *bool                  `json:"degraded,omitempty"`
+	// Util is the link-utilization summary of a traced run.
+	Util *trace.Summary `json:"util,omitempty"`
+	// Report is the workload execution report (workload runs only).
+	Report *machine.Report `json:"report,omitempty"`
+}
+
+// SweepRequest is the wire form of POST /v1/sweep: a batch of collective
+// points — the cross product of DPUs x BytesPerNode — fanned onto the
+// parallel sweep engine with the shared plan cache.
+type SweepRequest struct {
+	Backend string `json:"backend,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
+	Op      string `json:"op,omitempty"`
+	// DPUs and BytesPerNode span the sweep grid; both must be non-empty.
+	DPUs         []int   `json:"dpus"`
+	BytesPerNode []int64 `json:"bytes_per_node"`
+	ElemSize     int     `json:"elem_size,omitempty"`
+	// Workers bounds this request's worker pool (<=0 or beyond the server's
+	// cap selects the server default). Results are identical regardless.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SweepPoint is one grid point's deterministic result.
+type SweepPoint struct {
+	DPUs         int               `json:"dpus"`
+	BytesPerNode int64             `json:"bytes_per_node"`
+	TimePs       sim.Time          `json:"time_ps"`
+	Time         string            `json:"time"`
+	Breakdown    metrics.Breakdown `json:"breakdown"`
+	PlanKey      string            `json:"plan_key"`
+}
+
+// SweepResponse is the wire form of a sweep execution. Points are
+// deterministic; Stats is wall-clock measurement metadata and varies run to
+// run.
+type SweepResponse struct {
+	Backend string                `json:"backend"`
+	Pattern string                `json:"pattern"`
+	Points  []SweepPoint          `json:"points"`
+	Stats   report.SweepStatsJSON `json:"stats"`
+}
+
+// workloadNames are the canonical Table VII workloads accepted (by
+// case-insensitive prefix) in SimulateRequest.Workload.
+var workloadNames = []string{"BFS", "CC", "GEMV", "MLP", "SpMV", "EMB", "NTT", "Join"}
+
+// simPoint is a fully validated, normalized simulate request: everything the
+// executor needs, resolved before any admission or coalescing decision.
+type simPoint struct {
+	kind     pimnet.BackendKind
+	sys      pimnet.System
+	req      collective.Request // zero when workload is set
+	workload string
+	scaled   bool
+	seed     int64
+	faults   string
+	seedF    int64
+	overhead int64
+	trace    string
+}
+
+// flightKey is the identity under which concurrent duplicate requests
+// coalesce: the core.PlanKey digest (system shape x collective request x
+// step overhead) plus every request field that changes the result without
+// changing the compiled plan.
+type flightKey struct {
+	plan      string
+	backend   string
+	workload  string
+	scaled    bool
+	seed      int64
+	faults    string
+	faultSeed int64
+	trace     string
+}
+
+// planKey returns the compilation-point identity of the request.
+func (pt simPoint) planKey() core.PlanKey {
+	return core.KeyForSystem(pt.sys, pt.req, pt.overhead)
+}
+
+// key returns the coalescing identity of the request.
+func (pt simPoint) key() flightKey {
+	return flightKey{
+		plan:      pt.planKey().Digest(),
+		backend:   pt.kind.String(),
+		workload:  pt.workload,
+		scaled:    pt.scaled,
+		seed:      pt.seed,
+		faults:    pt.faults,
+		faultSeed: pt.seedF,
+		trace:     pt.trace,
+	}
+}
+
+// decodeJSON decodes one JSON object strictly: unknown fields and trailing
+// data are errors, so malformed client payloads fail loudly as 400s instead
+// of silently taking defaults.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON object")
+	}
+	return nil
+}
+
+// DecodeSimulateRequest decodes and normalizes one simulate payload. It is
+// the single entry point for request validation — the fuzz target drives it
+// directly — and must return an error for every malformed shape, never
+// panic.
+func DecodeSimulateRequest(r io.Reader) (SimulateRequest, simPoint, error) {
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return SimulateRequest{}, simPoint{}, err
+	}
+	return req.normalize()
+}
+
+// normalize applies defaults and validates every field, returning the echo
+// form (defaults filled in) and the executable point.
+func (req SimulateRequest) normalize() (SimulateRequest, simPoint, error) {
+	var pt simPoint
+
+	if req.Backend == "" {
+		req.Backend = "pimnet"
+	}
+	kind, err := pimnet.ParseBackendKind(req.Backend)
+	if err != nil {
+		return req, pt, err
+	}
+	pt.kind = kind
+	req.Backend = strings.ToLower(req.Backend)
+
+	if req.DPUs == 0 {
+		req.DPUs = 256
+	}
+	if req.DPUs < 1 {
+		return req, pt, fmt.Errorf("dpus must be >= 1, got %d", req.DPUs)
+	}
+	sys, err := pimnet.DefaultSystem().WithDPUs(req.DPUs)
+	if err != nil {
+		return req, pt, err
+	}
+	pt.sys = sys
+
+	if req.Faults != "" {
+		if kind != pimnet.PIMnet {
+			return req, pt, fmt.Errorf("faults require backend pimnet, got %q", req.Backend)
+		}
+		if _, err := pimnet.ParseFaultSpec(req.Faults); err != nil {
+			return req, pt, err
+		}
+		if req.FaultSeed == 0 {
+			req.FaultSeed = 1
+		}
+	} else if req.FaultSeed != 0 {
+		return req, pt, errors.New("fault_seed is only meaningful with faults")
+	}
+	pt.faults, pt.seedF = req.Faults, req.FaultSeed
+
+	if req.StepOverheadPs != 0 {
+		if req.StepOverheadPs < 0 {
+			return req, pt, fmt.Errorf("step_overhead_ps must be >= 0, got %d", req.StepOverheadPs)
+		}
+		if kind != pimnet.PIMnet {
+			return req, pt, fmt.Errorf("step_overhead_ps applies only to backend pimnet, got %q", req.Backend)
+		}
+	}
+	pt.overhead = req.StepOverheadPs
+
+	if req.TraceLevel != "" {
+		if _, err := pimnet.ParseTraceLevel(req.TraceLevel); err != nil {
+			return req, pt, err
+		}
+		req.TraceLevel = strings.ToLower(req.TraceLevel)
+	}
+	pt.trace = req.TraceLevel
+
+	if req.Workload != "" {
+		if req.Pattern != "" || req.Op != "" || req.BytesPerNode != 0 || req.ElemSize != 0 || req.Root != 0 {
+			return req, pt, errors.New("workload runs take no pattern, op, bytes_per_node, elem_size, or root")
+		}
+		name, ok := canonicalWorkload(req.Workload)
+		if !ok {
+			return req, pt, fmt.Errorf("unknown workload %q (want a prefix of %s)",
+				req.Workload, strings.Join(workloadNames, ", "))
+		}
+		req.Workload = name
+		if req.Scaled == nil {
+			v := true
+			req.Scaled = &v
+		}
+		if req.Seed == 0 {
+			req.Seed = 1
+		}
+		pt.workload, pt.scaled, pt.seed = name, *req.Scaled, req.Seed
+		return req, pt, nil
+	}
+	if req.Scaled != nil || req.Seed != 0 {
+		return req, pt, errors.New("scaled and seed are only meaningful with workload")
+	}
+
+	if req.Pattern == "" {
+		req.Pattern = "allreduce"
+	}
+	pat, err := collective.ParsePattern(req.Pattern)
+	if err != nil {
+		return req, pt, err
+	}
+	req.Pattern = strings.ToLower(req.Pattern)
+	if req.Op == "" {
+		req.Op = "sum"
+	}
+	op, err := collective.ParseOp(req.Op)
+	if err != nil {
+		return req, pt, err
+	}
+	req.Op = strings.ToLower(req.Op)
+	if req.BytesPerNode == 0 {
+		req.BytesPerNode = 32 << 10
+	}
+	if req.ElemSize == 0 {
+		req.ElemSize = 4
+	}
+	pt.req = collective.Request{Pattern: pat, Op: op, BytesPerNode: req.BytesPerNode,
+		ElemSize: req.ElemSize, Nodes: req.DPUs, Root: req.Root}
+	if err := pt.req.Validate(); err != nil {
+		return req, pt, err
+	}
+	return req, pt, nil
+}
+
+// canonicalWorkload resolves a case-insensitive prefix to the canonical
+// Table VII name.
+func canonicalWorkload(name string) (string, bool) {
+	for _, w := range workloadNames {
+		if strings.HasPrefix(strings.ToLower(w), strings.ToLower(name)) {
+			return w, true
+		}
+	}
+	return "", false
+}
+
+// DecodeSweepRequest decodes and normalizes one sweep payload into its grid
+// of executable points (row-major over DPUs x BytesPerNode, the order the
+// response preserves).
+func DecodeSweepRequest(r io.Reader, maxPoints int) (SweepRequest, []simPoint, error) {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return SweepRequest{}, nil, err
+	}
+	if req.Backend == "" {
+		req.Backend = "pimnet"
+	}
+	if req.Pattern == "" {
+		req.Pattern = "allreduce"
+	}
+	if req.Op == "" {
+		req.Op = "sum"
+	}
+	if req.ElemSize == 0 {
+		req.ElemSize = 4
+	}
+	if len(req.DPUs) == 0 {
+		return req, nil, errors.New("dpus must name at least one population")
+	}
+	if len(req.BytesPerNode) == 0 {
+		return req, nil, errors.New("bytes_per_node must name at least one payload size")
+	}
+	if n := len(req.DPUs) * len(req.BytesPerNode); n > maxPoints {
+		return req, nil, fmt.Errorf("sweep grid has %d points, server caps at %d", n, maxPoints)
+	}
+	points := make([]simPoint, 0, len(req.DPUs)*len(req.BytesPerNode))
+	for _, d := range req.DPUs {
+		for _, b := range req.BytesPerNode {
+			if d < 1 {
+				return req, nil, fmt.Errorf("dpus value %d must be >= 1", d)
+			}
+			if b < 1 {
+				return req, nil, fmt.Errorf("bytes_per_node value %d must be >= 1", b)
+			}
+			one := SimulateRequest{Backend: req.Backend, Pattern: req.Pattern, Op: req.Op,
+				BytesPerNode: b, ElemSize: req.ElemSize, DPUs: d}
+			_, pt, err := one.normalize()
+			if err != nil {
+				return req, nil, fmt.Errorf("point dpus=%d bytes_per_node=%d: %w", d, b, err)
+			}
+			points = append(points, pt)
+		}
+	}
+	req.Backend = strings.ToLower(req.Backend)
+	req.Pattern = strings.ToLower(req.Pattern)
+	req.Op = strings.ToLower(req.Op)
+	return req, points, nil
+}

@@ -1,0 +1,330 @@
+// Package serve exposes the simulator as a long-running HTTP/JSON service —
+// the serving tier the daemon cmd/pimnetd wraps. The pipeline for every
+// experiment request is
+//
+//	decode/validate -> coalesce -> admit -> execute -> respond
+//
+// with three production shapes carrying the load:
+//
+//   - Admission control: at most MaxInFlight requests execute concurrently
+//     and at most QueueDepth more wait. Beyond that the server sheds load
+//     with 503 + Retry-After instead of growing goroutines without bound.
+//   - Request coalescing: PIMnet plans are deterministic functions of the
+//     compilation point, so concurrent identical requests (same
+//     core.PlanKey digest plus result-affecting fields) share one execution
+//     and receive byte-identical responses.
+//   - Shared-cache batching: all requests compile through one process-wide
+//     core.PlanCache. The PR 2 pristine-only invalidation rule holds by
+//     construction — faulted backends bypass the cache in both directions —
+//     so a cache warmed by any request serves every later one.
+//
+// Per-request deadlines propagate via context.Context into admission waits
+// and sweep scheduling. Shutdown drains: in-flight requests complete, new
+// ones are refused with 503.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"pimnet/internal/core"
+)
+
+// Config parameterizes a Server. The zero value selects production-shaped
+// defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing requests (<=0 selects
+	// GOMAXPROCS).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for an execution slot (<0 selects
+	// 4*MaxInFlight; 0 disables queueing: busy means reject).
+	QueueDepth int
+	// Timeout is the per-request deadline, covering queue wait and
+	// execution (<=0 selects 30s).
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies (<=0 selects 1 MiB).
+	MaxBodyBytes int64
+	// MaxSweepPoints bounds one sweep request's grid (<=0 selects 4096).
+	MaxSweepPoints int
+	// MaxSweepWorkers bounds one sweep request's worker pool (<=0 selects
+	// GOMAXPROCS).
+	MaxSweepWorkers int
+	// Cache is the process-wide compiled-plan cache (nil builds a fresh
+	// one). Passing a cache lets several servers — or a server plus batch
+	// jobs — share one.
+	Cache *core.PlanCache
+}
+
+// withDefaults resolves the zero-value fields.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 4 * c.MaxInFlight
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 4096
+	}
+	if c.MaxSweepWorkers <= 0 {
+		c.MaxSweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.Cache == nil {
+		c.Cache = core.NewPlanCache()
+	}
+	return c
+}
+
+// Server is the serving core. It implements http.Handler; cmd/pimnetd wraps
+// it in an http.Server, and tests drive it through httptest.
+type Server struct {
+	cfg     Config
+	cache   *core.PlanCache
+	gate    *gate
+	flights flightGroup
+	met     serverMetrics
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	// testHookExecute, when non-nil, runs inside the admission slot before
+	// execution; tests use it to hold slots busy and to observe ordering.
+	testHookExecute func()
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: cfg.Cache,
+		gate:  newGate(cfg.MaxInFlight, cfg.QueueDepth),
+		mux:   http.NewServeMux(),
+	}
+	s.met.start = time.Now()
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Cache returns the process-wide compiled-plan cache.
+func (s *Server) Cache() *core.PlanCache { return s.cache }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server: new experiment requests are refused with 503
+// while requests already past admission run to completion. It returns nil
+// once every in-flight request has finished, or ctx's error if the drain
+// deadline expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// begin registers an experiment request with the drain tracker; it reports
+// false once draining has started.
+func (s *Server) begin() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// okResponse renders v as a 200. Marshal failures are impossible for the
+// response types (plain data, no cycles), so they are programming errors.
+func okResponse(v any) response {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return errorResponse(http.StatusInternalServerError, fmt.Errorf("encoding response: %w", err))
+	}
+	return response{status: http.StatusOK, body: body}
+}
+
+// errorResponse renders a structured {"error": ...} body.
+func errorResponse(status int, err error) response {
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return response{status: status, body: body}
+}
+
+// overloadResponse is the load-shedding 503 with its Retry-After hint.
+func overloadResponse(msg string) response {
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	return response{status: http.StatusServiceUnavailable, body: body, retryAfter: true}
+}
+
+// deadlineResponse maps a context error at/inside execution to a response:
+// an expired deadline is 504, a client cancellation is the nonstandard 499
+// (the client is gone; the status is for logs and metrics only).
+func deadlineResponse(err error) response {
+	if errors.Is(err, context.Canceled) {
+		return errorResponse(499, errors.New("client canceled request"))
+	}
+	return errorResponse(http.StatusGatewayTimeout, errors.New("deadline exceeded"))
+}
+
+// write emits a rendered response and records its status class.
+func (s *Server) write(w http.ResponseWriter, resp response) {
+	s.met.recordStatus(resp.status)
+	w.Header().Set("Content-Type", "application/json")
+	if resp.retryAfter {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// requestContext derives the per-request deadline context.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.Timeout)
+}
+
+// handleSimulate is the one-experiment-point endpoint:
+// decode -> coalesce -> admit -> execute -> respond.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.met.simulate.Add(1)
+	if !s.begin() {
+		s.met.rejected.Add(1)
+		s.write(w, overloadResponse("server is draining"))
+		return
+	}
+	defer s.inflight.Done()
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	echo, pt, err := DecodeSimulateRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.write(w, errorResponse(http.StatusBadRequest, err))
+		return
+	}
+
+	f, leader := s.flights.join(pt.key())
+	if !leader {
+		s.met.coalesced.Add(1)
+		resp, err := f.wait(ctx)
+		if err != nil {
+			s.write(w, deadlineResponse(err))
+			return
+		}
+		s.write(w, resp)
+		return
+	}
+	resp := s.executeGated(ctx, func(ctx context.Context) response {
+		return s.executeSimulate(ctx, echo, pt)
+	})
+	s.flights.finish(pt.key(), f, resp)
+	s.write(w, resp)
+}
+
+// handleSweep is the batch endpoint. Sweeps are not coalesced — their
+// inner points already share work through the plan cache — but they pass
+// through the same admission gate, each occupying one slot (the per-request
+// worker pool is bounded separately by MaxSweepWorkers).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.met.sweep.Add(1)
+	if !s.begin() {
+		s.met.rejected.Add(1)
+		s.write(w, overloadResponse("server is draining"))
+		return
+	}
+	defer s.inflight.Done()
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	req, points, err := DecodeSweepRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxSweepPoints)
+	if err != nil {
+		s.write(w, errorResponse(http.StatusBadRequest, err))
+		return
+	}
+	s.write(w, s.executeGated(ctx, func(ctx context.Context) response {
+		return s.executeSweep(ctx, req, points)
+	}))
+}
+
+// executeGated runs fn inside the bounded admission gate with panic
+// recovery, maintaining the in-flight gauge and the latency histogram.
+func (s *Server) executeGated(ctx context.Context, fn func(context.Context) response) (resp response) {
+	start := time.Now()
+	defer func() { s.met.latency.observe(time.Since(start)) }()
+
+	if err := s.gate.acquire(ctx); err != nil {
+		if errors.Is(err, errSaturated) {
+			s.met.rejected.Add(1)
+			return overloadResponse("admission queue saturated")
+		}
+		return deadlineResponse(err)
+	}
+	defer s.gate.release()
+
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+
+	defer func() {
+		if r := recover(); r != nil {
+			resp = errorResponse(http.StatusInternalServerError, fmt.Errorf("internal panic: %v", r))
+		}
+	}()
+	if s.testHookExecute != nil {
+		s.testHookExecute()
+	}
+	return fn(ctx)
+}
+
+// handleHealthz reports liveness; during drain it turns 503 so load
+// balancers stop routing here before the listener closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.met.healthz.Add(1)
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status, state := http.StatusOK, "ok"
+	if draining {
+		status, state = http.StatusServiceUnavailable, "draining"
+	}
+	body, _ := json.Marshal(map[string]any{
+		"status":         state,
+		"uptime_seconds": time.Since(s.met.start).Seconds(),
+	})
+	s.write(w, response{status: status, body: body})
+}
+
+// handleMetrics serves the observability snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.metrics.Add(1)
+	s.write(w, okResponse(s.met.snapshot(s.gate.waiting(), s.cache)))
+}

@@ -18,6 +18,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -37,6 +38,9 @@ type Options struct {
 	// Agg, when non-nil, accumulates this run's SweepStats (harnesses that
 	// chain several sweeps merge into one aggregate for reporting).
 	Agg *metrics.SweepStats
+	// Ctx cancels the run: points not yet started when Ctx is done are
+	// skipped and recorded as failed with Ctx's error. Nil means Background.
+	Ctx context.Context
 }
 
 // Option mutates Options.
@@ -51,6 +55,14 @@ func WithCache(c *core.PlanCache) Option { return func(o *Options) { o.Cache = c
 // WithStats merges the run's execution stats into agg.
 func WithStats(agg *metrics.SweepStats) Option { return func(o *Options) { o.Agg = agg } }
 
+// WithContext makes the run abort promptly on ctx cancellation or deadline:
+// workers check ctx between points, so at most Workers in-flight points run
+// to completion after cancellation. Skipped points fail with ctx's error,
+// and the deterministic lowest-index error rule still applies — when points
+// failed on their own before cancellation, the lowest-indexed failure (of
+// either kind) is the one reported.
+func WithContext(ctx context.Context) Option { return func(o *Options) { o.Ctx = ctx } }
+
 // Build resolves a final Options from defaults plus opts.
 func Build(opts ...Option) Options {
 	var o Options
@@ -59,6 +71,9 @@ func Build(opts ...Option) Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
 	}
 	return o
 }
@@ -70,13 +85,19 @@ type Context struct {
 	// Cache is the sweep-wide compiled-plan cache (nil when disabled).
 	// Attach it to PIMnet backends with WithPlanCache.
 	Cache *core.PlanCache
+	// Ctx is the run's cancellation context (never nil). Long point
+	// functions should check it between expensive stages; the pool itself
+	// only checks between points.
+	Ctx context.Context
 }
 
 // Run evaluates fn over every point on a bounded worker pool and returns
 // the results in point order plus the run's execution statistics. All
 // points run to completion even when some fail; the returned error is the
 // lowest-indexed point's error (nil when every point succeeded), and the
-// result slice holds fn's value for every point that did succeed.
+// result slice holds fn's value for every point that did succeed. Under
+// WithContext, cancellation fails every not-yet-started point with the
+// context's error while points already executing finish normally.
 func Run[P, R any](points []P, fn func(*Context, P) (R, error), opts ...Option) ([]R, metrics.SweepStats, error) {
 	o := Build(opts...)
 	workers := o.Workers
@@ -139,9 +160,16 @@ func Run[P, R any](points []P, fn func(*Context, P) (R, error), opts ...Option) 
 }
 
 // runPoint executes one point, recovering panics into errors so a single
-// bad point cannot take down the whole pool.
+// bad point cannot take down the whole pool. Once the run's context is done
+// the point is skipped entirely and recorded as failed with the context's
+// error — this is what makes cancellation prompt regardless of how many
+// points remain queued.
 func runPoint[P, R any](o Options, i int, points []P, results []R, errs []error,
 	wall []time.Duration, fn func(*Context, P) (R, error)) {
+	if err := o.Ctx.Err(); err != nil {
+		errs[i] = err
+		return
+	}
 	start := time.Now()
 	defer func() {
 		wall[i] = time.Since(start)
@@ -149,5 +177,5 @@ func runPoint[P, R any](o Options, i int, points []P, results []R, errs []error,
 			errs[i] = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	results[i], errs[i] = fn(&Context{Index: i, Cache: o.Cache}, points[i])
+	results[i], errs[i] = fn(&Context{Index: i, Cache: o.Cache, Ctx: o.Ctx}, points[i])
 }

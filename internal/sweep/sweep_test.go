@@ -1,9 +1,11 @@
 package sweep_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -231,5 +233,88 @@ func TestDeterministicWithFaults(t *testing.T) {
 					w, i, ref[i], got[i])
 			}
 		}
+	}
+}
+
+// TestRunContextCancellation: cancelling mid-run fails the not-yet-started
+// points with context.Canceled while already-running points finish; the
+// returned error is the lowest-indexed failure.
+func TestRunContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			points := make([]int, 64)
+			for i := range points {
+				points[i] = i
+			}
+			var ran atomic.Int64
+			results, _, err := sweep.Run(points, func(c *sweep.Context, p int) (int, error) {
+				if c.Ctx == nil {
+					t.Error("point saw nil Ctx")
+				}
+				if ran.Add(1) == int64(workers) {
+					cancel() // every in-flight point observed; cancel the rest
+				}
+				return p * 2, nil
+			}, sweep.WithWorkers(workers), sweep.WithContext(ctx))
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if got := ran.Load(); got == int64(len(points)) {
+				t.Fatalf("cancellation did not skip any point (%d ran)", got)
+			}
+			// Points that did run still produced their deterministic values.
+			ok := 0
+			for i, r := range results {
+				if r == points[i]*2 {
+					ok++
+				}
+			}
+			if ok == 0 {
+				t.Fatal("no completed point kept its result")
+			}
+		})
+	}
+}
+
+// TestRunContextErrorRule: a real point failure at a lower index than the
+// cancellation-skipped points is the error Run reports.
+func TestRunContextErrorRule(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	points := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	_, _, err := sweep.Run(points, func(c *sweep.Context, p int) (int, error) {
+		if p == 1 {
+			cancel()
+			return 0, boom
+		}
+		return p, nil
+	}, sweep.WithWorkers(1), sweep.WithContext(ctx))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the point-1 failure", err)
+	}
+	if !strings.Contains(err.Error(), "point 1") {
+		t.Fatalf("err = %v, want it attributed to point 1", err)
+	}
+}
+
+// TestRunContextDeadline: an already-expired deadline skips every point.
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	var ran atomic.Int64
+	_, _, err := sweep.Run([]int{1, 2, 3}, func(c *sweep.Context, p int) (int, error) {
+		ran.Add(1)
+		return p, nil
+	}, sweep.WithWorkers(2), sweep.WithContext(ctx))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d points ran after the deadline", ran.Load())
+	}
+	if !strings.Contains(err.Error(), "point 0") {
+		t.Fatalf("err = %v, want the lowest-indexed point reported", err)
 	}
 }

@@ -1,0 +1,69 @@
+// Package version derives the build's identity from the information the Go
+// toolchain embeds in every binary, so the -version flag of the pimnet
+// commands works without ldflags plumbing or a release process: module
+// version when built from a tagged module, VCS revision and commit time when
+// built from a checkout, plus a -dirty marker for uncommitted changes.
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// String renders the build identity of the running binary, e.g.
+//
+//	pimnet v1.2.3 (rev 0123abcd 2026-08-05T12:00:00Z) go1.24.1
+//	pimnet devel (rev 0123abcd-dirty 2026-08-05T12:00:00Z) go1.24.1
+//
+// Fields that the build did not record are omitted; a binary built outside
+// any module or VCS still yields a usable "pimnet devel goX.Y" string.
+func String() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "pimnet devel"
+	}
+	return render(info)
+}
+
+// render is String over an explicit build info (split out for tests).
+func render(info *debug.BuildInfo) string {
+	var b strings.Builder
+	b.WriteString("pimnet ")
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		b.WriteString(v)
+	} else {
+		b.WriteString("devel")
+	}
+
+	var rev, at, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		b.WriteString(" (rev ")
+		b.WriteString(rev)
+		b.WriteString(dirty)
+		if at != "" {
+			b.WriteString(" ")
+			b.WriteString(at)
+		}
+		b.WriteString(")")
+	}
+	if info.GoVersion != "" {
+		b.WriteString(" ")
+		b.WriteString(info.GoVersion)
+	}
+	return b.String()
+}

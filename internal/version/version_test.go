@@ -1,0 +1,69 @@
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringNonEmpty(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, "pimnet ") {
+		t.Fatalf("String() = %q, want pimnet prefix", s)
+	}
+	if strings.ContainsAny(s, "\n\r") {
+		t.Fatalf("String() spans lines: %q", s)
+	}
+}
+
+func TestRender(t *testing.T) {
+	cases := []struct {
+		name string
+		info debug.BuildInfo
+		want string
+	}{
+		{
+			name: "bare",
+			info: debug.BuildInfo{},
+			want: "pimnet devel",
+		},
+		{
+			name: "tagged release",
+			info: debug.BuildInfo{
+				GoVersion: "go1.24.1",
+				Main:      debug.Module{Version: "v1.2.3"},
+			},
+			want: "pimnet v1.2.3 go1.24.1",
+		},
+		{
+			name: "checkout build",
+			info: debug.BuildInfo{
+				GoVersion: "go1.24.1",
+				Main:      debug.Module{Version: "(devel)"},
+				Settings: []debug.BuildSetting{
+					{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+					{Key: "vcs.time", Value: "2026-08-05T12:00:00Z"},
+					{Key: "vcs.modified", Value: "true"},
+				},
+			},
+			want: "pimnet devel (rev 0123456789ab-dirty 2026-08-05T12:00:00Z) go1.24.1",
+		},
+		{
+			name: "clean revision without time",
+			info: debug.BuildInfo{
+				Settings: []debug.BuildSetting{
+					{Key: "vcs.revision", Value: "abcd1234"},
+					{Key: "vcs.modified", Value: "false"},
+				},
+			},
+			want: "pimnet devel (rev abcd1234)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := render(&tc.info); got != tc.want {
+				t.Fatalf("render = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Serve smoke test: boot pimnetd on an ephemeral port, exercise every
+# endpoint once, then prove the SIGTERM drain exits cleanly. This is the
+# end-to-end check that the daemon wiring (listener, handlers, shutdown
+# path) works outside the Go test harness; `make check` runs it.
+set -eu
+
+workdir=$(mktemp -d /tmp/pimnet-serve-smoke.XXXXXX)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "--- pimnetd log ---" >&2
+    cat "$workdir/pimnetd.log" >&2 || true
+    exit 1
+}
+
+go build -o "$workdir/pimnetd" ./cmd/pimnetd
+
+"$workdir/pimnetd" -addr 127.0.0.1:0 -grace 10s > "$workdir/pimnetd.log" 2>&1 &
+daemon_pid=$!
+
+# The daemon prints its resolved ephemeral address on startup.
+base=""
+i=0
+while [ $i -lt 100 ]; do
+    base=$(sed -n 's|^pimnetd: listening on \(http://.*\)$|\1|p' "$workdir/pimnetd.log")
+    [ -n "$base" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || fail "daemon exited before listening"
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$base" ] || fail "daemon never reported its address"
+
+curl -fsS "$base/healthz" | grep -q '"status":"ok"' \
+    || fail "healthz not ok"
+
+curl -fsS -X POST "$base/v1/simulate" \
+    -d '{"pattern": "allreduce", "bytes_per_node": 32768, "dpus": 256}' \
+    | grep -q '"time_ps":' \
+    || fail "simulate returned no latency"
+
+curl -fsS -X POST "$base/v1/sweep" \
+    -d '{"pattern": "allreduce", "dpus": [64, 256], "bytes_per_node": [4096, 32768]}' \
+    | grep -q '"points":\[{' \
+    || fail "sweep returned no points"
+
+curl -fsS "$base/metrics" | grep -q '"plan_cache":' \
+    || fail "metrics missing plan-cache stats"
+
+# A malformed request must be a structured 400, not a connection error.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/simulate" \
+    -d '{"pattern": "bogus"}')
+[ "$code" = "400" ] || fail "malformed request got $code, want 400"
+
+# SIGTERM must drain and exit 0.
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" = "0" ] || fail "daemon exited $rc after SIGTERM"
+grep -q "drained, exiting" "$workdir/pimnetd.log" || fail "daemon did not report a clean drain"
+
+echo "serve-smoke: OK ($base)"
