@@ -9,7 +9,7 @@ GO ?= go
 COVER_PKGS = ./internal/core ./internal/sweep
 COVER_FLOOR = 80
 
-.PHONY: build test vet check cover fuzz bench benchcmp profile golden trace-smoke serve-smoke
+.PHONY: build test vet check cover fuzz bench benchcmp profile golden trace-smoke serve-smoke cluster-smoke
 
 # Benchmarks gated by the regression check (make benchcmp). Engine covers the
 # event queue, Execute covers the plan-replay hot path.
@@ -30,7 +30,7 @@ vet:
 # (benchmarks are noisy on shared machines); set BENCH_STRICT=1 to make a
 # regression fail the build.
 check:
-	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) cover && $(MAKE) trace-smoke && $(MAKE) serve-smoke
+	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) cover && $(MAKE) trace-smoke && $(MAKE) serve-smoke && $(MAKE) cluster-smoke
 	@if [ "$(BENCH_STRICT)" = "1" ]; then \
 		$(MAKE) benchcmp; \
 	else \
@@ -89,6 +89,12 @@ golden:
 # and prove the SIGTERM drain exits 0 — the daemon's end-to-end contract.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Cluster smoke test: a coordinator over two real workers must serve sweeps
+# byte-identical to a single node — including while one worker is killed
+# mid-sweep (DESIGN.md §13).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 # Trace smoke test: a traced 256-DPU AllReduce must produce schema-valid
 # Chrome trace_event JSON (the Perfetto-loadability contract of -trace-out).

@@ -6,20 +6,30 @@
 //
 //	pimnetd -addr 127.0.0.1:8080
 //	pimnetd -addr :0 -max-inflight 8 -queue-depth 32 -timeout 10s
+//	pimnetd -addr :8080 -coordinator -workers http://10.0.0.1:8080,http://10.0.0.2:8080
 //
 // Endpoints:
 //
 //	POST /v1/simulate  one experiment point (collective or workload)
 //	POST /v1/sweep     a DPUs x bytes grid on the parallel sweep engine
+//	POST /v1/chunk     one contiguous grid slice (cluster-internal fan-out)
 //	GET  /healthz      liveness (503 once draining)
 //	GET  /metrics      request/error/coalesce counters, plan-cache and sweep
-//	                   aggregates, latency histogram
+//	                   aggregates, latency histogram, cluster health
 //
-// The daemon sheds load with 503 + Retry-After once -max-inflight requests
-// are executing and -queue-depth more are waiting, coalesces concurrent
-// identical /v1/simulate requests onto one execution, and bounds every
-// request by -timeout. On SIGINT/SIGTERM it stops accepting work, drains
-// in-flight requests for up to -grace, and exits 0 on a clean drain.
+// In -coordinator mode /v1/sweep grids are split into -chunk-size chunks
+// and fanned over the -workers fleet (plain pimnetd processes) with
+// consistent-hash placement, health-probe-driven ejection, retry with
+// capped jittered backoff, hedged re-dispatch of stragglers, and local
+// execution as the degradation path. Assembled results are byte-identical
+// to a single-node sweep regardless of fleet behavior.
+//
+// The daemon sheds load with 503 + a jittered Retry-After once
+// -max-inflight requests are executing and -queue-depth more are waiting,
+// coalesces concurrent identical /v1/simulate requests onto one execution,
+// and bounds every request by -timeout. On SIGINT/SIGTERM it stops
+// accepting work, drains in-flight requests for up to -grace, and exits 0
+// on a clean drain.
 package main
 
 import (
@@ -29,24 +39,55 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"pimnet/internal/cluster"
 	"pimnet/internal/serve"
 	"pimnet/internal/version"
 )
 
+// options collects the parsed command line.
+type options struct {
+	addr            string
+	maxInFlight     int
+	queueDepth      int
+	timeout         time.Duration
+	grace           time.Duration
+	maxBody         int64
+	maxSweepPoints  int
+	maxSweepWorkers int
+
+	coordinator  bool
+	workers      string
+	chunkSize    int
+	chunkTimeout time.Duration
+	chunkRetries int
+	hedgeAfter   time.Duration
+	probeEvery   time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks an ephemeral port)")
-	maxInFlight := flag.Int("max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
-	queueDepth := flag.Int("queue-depth", -1, "max requests waiting for a slot (-1 = 4x max-inflight, 0 = no queue)")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
-	grace := flag.Duration("grace", 15*time.Second, "drain deadline after SIGINT/SIGTERM")
-	maxBody := flag.Int64("max-body-bytes", 1<<20, "max request body size in bytes")
-	maxSweepPoints := flag.Int("max-sweep-points", 4096, "max grid points in one /v1/sweep request")
-	maxSweepWorkers := flag.Int("max-sweep-workers", 0, "max worker pool per sweep request (0 = GOMAXPROCS)")
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (host:port; :0 picks an ephemeral port)")
+	flag.IntVar(&o.maxInFlight, "max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queueDepth, "queue-depth", -1, "max requests waiting for a slot (-1 = 4x max-inflight, 0 = no queue)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
+	flag.DurationVar(&o.grace, "grace", 15*time.Second, "drain deadline after SIGINT/SIGTERM")
+	flag.Int64Var(&o.maxBody, "max-body-bytes", 1<<20, "max request body size in bytes")
+	flag.IntVar(&o.maxSweepPoints, "max-sweep-points", 4096, "max grid points in one /v1/sweep request")
+	flag.IntVar(&o.maxSweepWorkers, "max-sweep-workers", 0, "max worker pool per sweep request (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.coordinator, "coordinator", false, "run as a cluster coordinator: fan /v1/sweep grids over -workers")
+	flag.StringVar(&o.workers, "workers", "", "comma-separated worker base URLs (coordinator mode)")
+	flag.IntVar(&o.chunkSize, "chunk-size", 0, "grid points per dispatched chunk (0 = default 8)")
+	flag.DurationVar(&o.chunkTimeout, "chunk-timeout", 0, "per-chunk dispatch attempt deadline (0 = default 30s)")
+	flag.IntVar(&o.chunkRetries, "chunk-retries", 0, "remote dispatch rounds per chunk before running it locally (0 = default 3)")
+	flag.DurationVar(&o.hedgeAfter, "hedge-after", 0, "straggler delay before hedged re-dispatch (0 = default 500ms, negative disables)")
+	flag.DurationVar(&o.probeEvery, "probe-interval", 0, "worker health-probe interval (0 = default 2s)")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -54,27 +95,133 @@ func main() {
 		fmt.Println(version.String())
 		return
 	}
-	if err := run(*addr, *grace, serve.Config{
-		MaxInFlight:     *maxInFlight,
-		QueueDepth:      *queueDepth,
-		Timeout:         *timeout,
-		MaxBodyBytes:    *maxBody,
-		MaxSweepPoints:  *maxSweepPoints,
-		MaxSweepWorkers: *maxSweepWorkers,
-	}); err != nil {
+	workers, err := validate(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimnetd:", err)
+		os.Exit(2)
+	}
+	if err := run(o, workers); err != nil {
 		fmt.Fprintln(os.Stderr, "pimnetd:", err)
 		os.Exit(1)
 	}
 }
 
+// validate rejects inconsistent or out-of-range flags upfront with a
+// one-line message — a daemon must refuse to boot misconfigured rather
+// than misbehave at runtime (a zero timeout, say, would fail every request
+// with 504 the moment it arrived). It returns the parsed worker list in
+// coordinator mode.
+func validate(o options) ([]string, error) {
+	if o.timeout <= 0 {
+		return nil, fmt.Errorf("-timeout must be > 0, got %v", o.timeout)
+	}
+	if o.grace <= 0 {
+		return nil, fmt.Errorf("-grace must be > 0, got %v", o.grace)
+	}
+	if o.maxInFlight < 0 {
+		return nil, fmt.Errorf("-max-inflight must be >= 0, got %d", o.maxInFlight)
+	}
+	if o.queueDepth < -1 {
+		return nil, fmt.Errorf("-queue-depth must be >= -1, got %d", o.queueDepth)
+	}
+	if o.maxBody <= 0 {
+		return nil, fmt.Errorf("-max-body-bytes must be > 0, got %d", o.maxBody)
+	}
+	if o.maxSweepPoints <= 0 {
+		return nil, fmt.Errorf("-max-sweep-points must be > 0, got %d", o.maxSweepPoints)
+	}
+	if o.maxSweepWorkers < 0 {
+		return nil, fmt.Errorf("-max-sweep-workers must be >= 0, got %d", o.maxSweepWorkers)
+	}
+	if o.chunkSize < 0 {
+		return nil, fmt.Errorf("-chunk-size must be >= 0, got %d", o.chunkSize)
+	}
+	if o.chunkRetries < 0 {
+		return nil, fmt.Errorf("-chunk-retries must be >= 0, got %d", o.chunkRetries)
+	}
+	if o.chunkTimeout < 0 {
+		return nil, fmt.Errorf("-chunk-timeout must be >= 0, got %v", o.chunkTimeout)
+	}
+	if o.probeEvery < 0 {
+		return nil, fmt.Errorf("-probe-interval must be >= 0, got %v", o.probeEvery)
+	}
+	if !o.coordinator {
+		if o.workers != "" {
+			return nil, errors.New("-workers requires -coordinator")
+		}
+		return nil, nil
+	}
+	if o.workers == "" {
+		return nil, errors.New("-coordinator requires at least one -workers URL")
+	}
+	var workers []string
+	for _, w := range strings.Split(o.workers, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		u, err := url.Parse(w)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("-workers entry %q is not a base URL (want http://host:port)", w)
+		}
+		workers = append(workers, strings.TrimRight(w, "/"))
+	}
+	if len(workers) == 0 {
+		return nil, errors.New("-coordinator requires at least one -workers URL")
+	}
+	return workers, nil
+}
+
 // run serves until SIGINT/SIGTERM, then drains: the serving core refuses new
 // experiment requests (healthz turns 503 so load balancers stop routing
 // here) while requests already admitted run to completion, bounded by grace.
-func run(addr string, grace time.Duration, cfg serve.Config) error {
-	s := serve.New(cfg)
-	ln, err := net.Listen("tcp", addr)
+func run(o options, workers []string) error {
+	cfg := serve.Config{
+		MaxInFlight:     o.maxInFlight,
+		QueueDepth:      o.queueDepth,
+		Timeout:         o.timeout,
+		MaxBodyBytes:    o.maxBody,
+		MaxSweepPoints:  o.maxSweepPoints,
+		MaxSweepWorkers: o.maxSweepWorkers,
+	}
+
+	// In coordinator mode the server and the coordinator reference each
+	// other: the server delegates /v1/sweep to the coordinator, and the
+	// coordinator runs orphaned chunks back on the server (inside the sweep
+	// request's admission slot). The late-bound closure breaks the cycle —
+	// s is assigned before the listener accepts anything.
+	var s *serve.Server
+	var coord *cluster.Coordinator
+	if o.coordinator {
+		var err error
+		coord, err = cluster.New(cluster.Config{
+			Workers:       workers,
+			ChunkSize:     o.chunkSize,
+			ChunkTimeout:  o.chunkTimeout,
+			MaxAttempts:   o.chunkRetries,
+			HedgeAfter:    o.hedgeAfter,
+			ProbeInterval: o.probeEvery,
+			MaxPoints:     o.maxSweepPoints,
+			Local: func(ctx context.Context, req serve.ChunkRequest) ([]serve.SweepPoint, error) {
+				return s.RunChunk(ctx, req)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Sweeper = coord
+		cfg.ClusterMetrics = func() any { return coord.MetricsSnapshot() }
+	}
+	s = serve.New(cfg)
+
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
+	}
+	if coord != nil {
+		coord.Start()
+		defer coord.Close()
+		fmt.Printf("pimnetd: coordinating %d workers: %s\n", len(workers), strings.Join(workers, ", "))
 	}
 	fmt.Printf("pimnetd: listening on http://%s\n", ln.Addr())
 
@@ -92,7 +239,7 @@ func run(addr string, grace time.Duration, cfg serve.Config) error {
 	stop() // a second signal kills the process the default way
 
 	fmt.Println("pimnetd: draining")
-	dctx, cancel := context.WithTimeout(context.Background(), grace)
+	dctx, cancel := context.WithTimeout(context.Background(), o.grace)
 	defer cancel()
 	if err := s.Shutdown(dctx); err != nil {
 		return fmt.Errorf("drain: %w", err)

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// defaults returns the flag defaults main would parse with no arguments.
+func defaults() options {
+	return options{
+		addr:           "127.0.0.1:8080",
+		queueDepth:     -1,
+		timeout:        30 * time.Second,
+		grace:          15 * time.Second,
+		maxBody:        1 << 20,
+		maxSweepPoints: 4096,
+	}
+}
+
+// TestValidateRejectsBadFlags: every out-of-range or inconsistent flag
+// combination must fail fast with a message naming the flag, instead of
+// misbehaving at runtime.
+func TestValidateRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string // substring of the error
+	}{
+		{"zero timeout", func(o *options) { o.timeout = 0 }, "-timeout"},
+		{"negative timeout", func(o *options) { o.timeout = -time.Second }, "-timeout"},
+		{"zero grace", func(o *options) { o.grace = 0 }, "-grace"},
+		{"negative grace", func(o *options) { o.grace = -time.Second }, "-grace"},
+		{"negative inflight", func(o *options) { o.maxInFlight = -1 }, "-max-inflight"},
+		{"queue depth below -1", func(o *options) { o.queueDepth = -2 }, "-queue-depth"},
+		{"zero body bytes", func(o *options) { o.maxBody = 0 }, "-max-body-bytes"},
+		{"negative body bytes", func(o *options) { o.maxBody = -5 }, "-max-body-bytes"},
+		{"zero sweep points", func(o *options) { o.maxSweepPoints = 0 }, "-max-sweep-points"},
+		{"negative sweep workers", func(o *options) { o.maxSweepWorkers = -1 }, "-max-sweep-workers"},
+		{"negative chunk size", func(o *options) { o.chunkSize = -1 }, "-chunk-size"},
+		{"negative chunk retries", func(o *options) { o.chunkRetries = -1 }, "-chunk-retries"},
+		{"negative chunk timeout", func(o *options) { o.chunkTimeout = -time.Second }, "-chunk-timeout"},
+		{"negative probe interval", func(o *options) { o.probeEvery = -time.Second }, "-probe-interval"},
+		{"workers without coordinator", func(o *options) { o.workers = "http://a:1" }, "-coordinator"},
+		{"coordinator without workers", func(o *options) { o.coordinator = true }, "-workers"},
+		{"coordinator with only commas", func(o *options) { o.coordinator = true; o.workers = ",," }, "-workers"},
+		{"malformed worker URL", func(o *options) { o.coordinator = true; o.workers = "not a url" }, "base URL"},
+		{"schemeless worker URL", func(o *options) { o.coordinator = true; o.workers = "10.0.0.1:8080" }, "base URL"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := defaults()
+			tc.mut(&o)
+			if _, err := validate(o); err == nil {
+				t.Fatalf("validate accepted %+v", o)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsGoodFlags: the defaults and a well-formed coordinator
+// line must pass, with worker URLs parsed and trailing slashes trimmed.
+func TestValidateAcceptsGoodFlags(t *testing.T) {
+	if ws, err := validate(defaults()); err != nil || ws != nil {
+		t.Fatalf("defaults: workers %v, err %v", ws, err)
+	}
+	o := defaults()
+	o.coordinator = true
+	o.workers = "http://10.0.0.1:8080/, http://10.0.0.2:8080"
+	ws, err := validate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[0] != "http://10.0.0.1:8080" || ws[1] != "http://10.0.0.2:8080" {
+		t.Fatalf("workers = %v", ws)
+	}
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"fmt"
+
+	"pimnet/internal/serve"
+)
+
+// ChunkResult is one chunk's reassembly input: the chunk's starting global
+// point index and its points in grid order.
+type ChunkResult struct {
+	Start  int
+	Points []serve.SweepPoint
+}
+
+// Assemble rebuilds a total-point sweep from chunk results, in any arrival
+// order. It is deliberately paranoid — this function is the last line of
+// the bit-identical-assembly contract, and every way a distributed sweep
+// could silently corrupt a study is a loud error instead:
+//
+//   - a chunk reaching outside [0, total) (a coordinator indexing bug),
+//   - a missing point (a chunk lost without its dispatch failing),
+//   - duplicate coverage that disagrees (hedged or retried dispatches must
+//     be byte-identical; a mismatch means determinism itself is broken).
+//
+// Exact duplicates are discarded — the expected outcome of hedged
+// dispatches where both copies answered.
+func Assemble(total int, chunks []ChunkResult) ([]serve.SweepPoint, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("cluster: assemble: negative total %d", total)
+	}
+	out := make([]serve.SweepPoint, total)
+	filled := make([]bool, total)
+	for _, ch := range chunks {
+		if ch.Start < 0 || ch.Start+len(ch.Points) > total {
+			return nil, fmt.Errorf("cluster: assemble: chunk [%d, %d) outside sweep of %d points",
+				ch.Start, ch.Start+len(ch.Points), total)
+		}
+		for i, pt := range ch.Points {
+			g := ch.Start + i
+			if filled[g] {
+				if out[g] != pt {
+					return nil, fmt.Errorf("cluster: assemble: duplicate results for point %d disagree (determinism violation): %+v vs %+v",
+						g, out[g], pt)
+				}
+				continue
+			}
+			out[g], filled[g] = pt, true
+		}
+	}
+	for g, ok := range filled {
+		if !ok {
+			return nil, fmt.Errorf("cluster: assemble: point %d missing from every chunk", g)
+		}
+	}
+	return out, nil
+}

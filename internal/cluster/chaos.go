@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Chaos is a seeded fault schedule for the coordinator's HTTP transport.
+// Probabilities are per-request draws from one deterministic stream, so a
+// (spec, seed) pair names a reproducible chaos schedule — the determinism
+// tests sweep seeds and assert that every schedule that completes yields
+// bytes identical to the single-node sweep.
+type Chaos struct {
+	// ConnFailP is the probability a request fails before reaching the
+	// worker (connection refused/reset).
+	ConnFailP float64
+	// Err5xxP is the probability a response is replaced with a synthetic
+	// 500 after the worker executed (response lost, work wasted).
+	Err5xxP float64
+	// TruncateP is the probability a response body is cut mid-stream
+	// (truncated read, decode must fail loudly).
+	TruncateP float64
+	// SpikeP and Spike inject latency spikes: with probability SpikeP the
+	// request stalls Spike before dispatch — the straggler shape hedging
+	// exists for.
+	SpikeP float64
+	Spike  time.Duration
+	// Kill maps a worker host (URL host:port) to a request budget: the
+	// Nth request to that host executes on the worker but its response is
+	// destroyed (the mid-chunk kill), and every later request fails
+	// immediately (the process is gone).
+	Kill map[string]int
+}
+
+// errChaos marks transport-level injected failures so tests can tell chaos
+// from real bugs.
+var errChaos = errors.New("cluster: injected chaos failure")
+
+// chaosTransport implements http.RoundTripper over a base transport with
+// the Chaos schedule applied.
+type chaosTransport struct {
+	base http.RoundTripper
+	spec Chaos
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts map[string]int
+}
+
+// WithChaos wraps base (nil selects http.DefaultTransport) with the seeded
+// fault schedule. The returned transport is safe for concurrent use; draws
+// are serialized on one rng so the schedule depends only on seed and
+// request arrival order.
+func WithChaos(base http.RoundTripper, spec Chaos, seed int64) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &chaosTransport{
+		base:   base,
+		spec:   spec,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[string]int),
+	}
+}
+
+// fate is one request's drawn outcome.
+type fate struct {
+	killedBefore bool // process already gone: fail without executing
+	killedAfter  bool // mid-chunk kill: execute, then destroy the response
+	connFail     bool
+	err5xx       bool
+	truncate     bool
+	spike        time.Duration
+}
+
+// draw rolls the request's fate under the mutex so the stream stays
+// deterministic per seed.
+func (t *chaosTransport) draw(host string) fate {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var f fate
+	if budget, ok := t.spec.Kill[host]; ok {
+		t.counts[host]++
+		if t.counts[host] > budget {
+			f.killedBefore = true
+			return f
+		}
+		if t.counts[host] == budget {
+			f.killedAfter = true
+			return f
+		}
+	}
+	if t.spec.ConnFailP > 0 && t.rng.Float64() < t.spec.ConnFailP {
+		f.connFail = true
+		return f
+	}
+	if t.spec.SpikeP > 0 && t.rng.Float64() < t.spec.SpikeP {
+		f.spike = t.spec.Spike
+	}
+	if t.spec.Err5xxP > 0 && t.rng.Float64() < t.spec.Err5xxP {
+		f.err5xx = true
+	} else if t.spec.TruncateP > 0 && t.rng.Float64() < t.spec.TruncateP {
+		f.truncate = true
+	}
+	return f
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.draw(req.URL.Host)
+	if f.killedBefore {
+		return nil, fmt.Errorf("%w: worker %s is dead (connection refused)", errChaos, req.URL.Host)
+	}
+	if f.connFail {
+		return nil, fmt.Errorf("%w: connection reset to %s", errChaos, req.URL.Host)
+	}
+	if f.spike > 0 {
+		select {
+		case <-time.After(f.spike):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case f.killedAfter:
+		// The worker did the work; the coordinator never hears back — the
+		// exact shape of a worker killed mid-chunk.
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: worker %s killed mid-chunk", errChaos, req.URL.Host)
+	case f.err5xx:
+		resp.Body.Close()
+		body := []byte(`{"error":"injected internal error"}`)
+		return &http.Response{
+			Status:        "500 Internal Server Error",
+			StatusCode:    http.StatusInternalServerError,
+			Proto:         resp.Proto,
+			ProtoMajor:    resp.ProtoMajor,
+			ProtoMinor:    resp.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case f.truncate:
+		resp.Body = &truncatingBody{inner: resp.Body, remaining: 16}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	default:
+		return resp, nil
+	}
+}
+
+// truncatingBody yields the first remaining bytes of the response, then
+// fails with io.ErrUnexpectedEOF — a connection dropped mid-body.
+type truncatingBody struct {
+	inner     io.ReadCloser
+	remaining int
+}
+
+func (b *truncatingBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		return n, io.EOF
+	}
+	if b.remaining <= 0 {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatingBody) Close() error { return b.inner.Close() }

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pimnet/internal/serve"
+	"pimnet/internal/sim"
+)
+
+// syntheticPoint builds a deterministic stand-in for the serial sweep's
+// i-th result. Reassembly never inspects point contents beyond equality,
+// so any injective mapping from index to point exercises it fully.
+func syntheticPoint(i int) serve.SweepPoint {
+	return serve.SweepPoint{
+		DPUs:         64 + i,
+		BytesPerNode: int64(1024 * (i + 1)),
+		TimePs:       sim.Time(1000 + 7*i),
+		Time:         fmt.Sprintf("%dns", i),
+		PlanKey:      fmt.Sprintf("plan-%d", i),
+	}
+}
+
+// FuzzChunkReassembly fuzzes the reassembly layer over chunk boundaries,
+// arrival order, and duplicated (hedged) responses: for every generated
+// schedule the assembled grid must equal the serial sweep point for point,
+// and a corrupted duplicate must fail loudly rather than silently replace
+// or pass through a disagreeing result.
+func FuzzChunkReassembly(f *testing.F) {
+	f.Add(uint16(6), []byte{2, 2, 2}, int64(1), uint16(0), false)
+	f.Add(uint16(1), []byte{1}, int64(2), uint16(1), false)
+	f.Add(uint16(40), []byte{1, 7, 3, 9}, int64(3), uint16(0b1010), false)
+	f.Add(uint16(13), []byte{}, int64(4), uint16(0xffff), false)
+	f.Add(uint16(6), []byte{2, 2, 2}, int64(5), uint16(0b11), true)
+	f.Fuzz(func(t *testing.T, totalRaw uint16, cuts []byte, orderSeed int64, dupMask uint16, corrupt bool) {
+		total := int(totalRaw%96) + 1
+		serial := make([]serve.SweepPoint, total)
+		for i := range serial {
+			serial[i] = syntheticPoint(i)
+		}
+
+		// Cut the grid into contiguous chunks; chunk sizes come from the
+		// fuzz input (0 bytes fall back to size 1, the worst case).
+		var chunks []ChunkResult
+		for start, ci := 0, 0; start < total; ci++ {
+			size := 1
+			if ci < len(cuts) {
+				size = int(cuts[ci]%16) + 1
+			}
+			if start+size > total {
+				size = total - start
+			}
+			chunks = append(chunks, ChunkResult{
+				Start:  start,
+				Points: append([]serve.SweepPoint(nil), serial[start:start+size]...),
+			})
+			start += size
+		}
+
+		// Duplicate chunks per the mask — the shape hedged dispatch leaves
+		// behind when both copies land.
+		n := len(chunks)
+		for i := 0; i < n; i++ {
+			if dupMask&(1<<(i%16)) != 0 {
+				dup := ChunkResult{Start: chunks[i].Start,
+					Points: append([]serve.SweepPoint(nil), chunks[i].Points...)}
+				chunks = append(chunks, dup)
+			}
+		}
+		corrupted := false
+		if corrupt && len(chunks) > n {
+			// Corrupt one duplicated point: a disagreeing duplicate means a
+			// worker broke determinism, and assembly must refuse.
+			chunks[n].Points[0].TimePs += 1
+			corrupted = true
+		}
+
+		// Chunks complete in arbitrary order; assembly must not care.
+		rng := rand.New(rand.NewSource(orderSeed))
+		rng.Shuffle(len(chunks), func(i, j int) { chunks[i], chunks[j] = chunks[j], chunks[i] })
+
+		out, err := Assemble(total, chunks)
+		if corrupted {
+			if err == nil {
+				t.Fatalf("assembly accepted a disagreeing duplicate (total=%d chunks=%d)", total, len(chunks))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("assembly failed on a complete schedule: %v (total=%d chunks=%d)", err, total, len(chunks))
+		}
+		if len(out) != total {
+			t.Fatalf("assembled %d points, want %d", len(out), total)
+		}
+		for i := range out {
+			if out[i] != serial[i] {
+				t.Fatalf("point %d diverged from serial: got %+v want %+v", i, out[i], serial[i])
+			}
+		}
+	})
+}

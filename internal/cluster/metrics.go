@@ -1,0 +1,73 @@
+package cluster
+
+import "sync/atomic"
+
+// Metrics aggregates the coordinator's dispatch and fleet-health counters.
+// Everything is atomic; the snapshot is embedded in the serving tier's
+// GET /metrics as the "cluster" section.
+type Metrics struct {
+	sweeps       atomic.Uint64 // distributed sweeps started
+	chunks       atomic.Uint64 // chunks dispatched (first attempts)
+	retries      atomic.Uint64 // chunk re-dispatches after a failed attempt
+	hedges       atomic.Uint64 // hedged duplicate dispatches of stragglers
+	localRuns    atomic.Uint64 // chunks degraded to local execution
+	dispatchErrs atomic.Uint64 // individual dispatch attempts that failed
+
+	probes        atomic.Uint64
+	probeFailures atomic.Uint64
+	ejections     atomic.Uint64
+	readmissions  atomic.Uint64
+}
+
+// WorkerStatus is one worker's health snapshot.
+type WorkerStatus struct {
+	Addr                string `json:"addr"`
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+}
+
+// Snapshot is the wire form of the coordinator's counters.
+type Snapshot struct {
+	Workers        []WorkerStatus `json:"workers"`
+	HealthyWorkers int            `json:"healthy_workers"`
+
+	Sweeps         uint64 `json:"sweeps"`
+	Chunks         uint64 `json:"chunks"`
+	ChunkRetries   uint64 `json:"chunk_retries"`
+	ChunkHedges    uint64 `json:"chunk_hedges"`
+	ChunkLocalRuns uint64 `json:"chunk_local_runs"`
+	DispatchErrors uint64 `json:"dispatch_errors"`
+
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	Ejections     uint64 `json:"ejections"`
+	Readmissions  uint64 `json:"readmissions"`
+}
+
+// MetricsSnapshot renders the coordinator's current counters and per-worker
+// health.
+func (c *Coordinator) MetricsSnapshot() Snapshot {
+	s := Snapshot{
+		Sweeps:         c.met.sweeps.Load(),
+		Chunks:         c.met.chunks.Load(),
+		ChunkRetries:   c.met.retries.Load(),
+		ChunkHedges:    c.met.hedges.Load(),
+		ChunkLocalRuns: c.met.localRuns.Load(),
+		DispatchErrors: c.met.dispatchErrs.Load(),
+		Probes:         c.met.probes.Load(),
+		ProbeFailures:  c.met.probeFailures.Load(),
+		Ejections:      c.met.ejections.Load(),
+		Readmissions:   c.met.readmissions.Load(),
+	}
+	for _, w := range c.reg.workers {
+		w.mu.Lock()
+		st := WorkerStatus{Addr: w.addr, State: w.state.String(), ConsecutiveFailures: w.consecFails}
+		healthy := w.state == StateHealthy
+		w.mu.Unlock()
+		s.Workers = append(s.Workers, st)
+		if healthy {
+			s.HealthyWorkers++
+		}
+	}
+	return s
+}

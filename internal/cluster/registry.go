@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// WorkerState is one worker's position in the eject/readmit state machine.
+type WorkerState int32
+
+const (
+	// StateHealthy workers receive chunk dispatches.
+	StateHealthy WorkerState = iota
+	// StateEjected workers are skipped at placement; periodic probes keep
+	// watching them and readmit once they answer again.
+	StateEjected
+)
+
+// String returns the state's wire name.
+func (s WorkerState) String() string {
+	if s == StateEjected {
+		return "ejected"
+	}
+	return "healthy"
+}
+
+// workerInfo is one registered worker. State transitions are driven by two
+// evidence streams — periodic health probes and dispatch outcomes — through
+// markSuccess/markFailure, and are deliberately asymmetric: EjectAfter
+// consecutive failures eject (one blip must not dump a warm plan cache),
+// while ReadmitAfter consecutive probe successes readmit (a flapping worker
+// must prove itself before it gets real chunks again).
+type workerInfo struct {
+	addr string // base URL, e.g. http://127.0.0.1:8081
+
+	mu          sync.Mutex
+	state       WorkerState
+	consecFails int
+	consecOKs   int
+}
+
+// registry tracks the fleet's workers and their health.
+type registry struct {
+	workers []*workerInfo
+	eject   int // consecutive failures before ejection
+	readmit int // consecutive successes before readmission
+	met     *Metrics
+}
+
+func newRegistry(addrs []string, eject, readmit int, met *Metrics) *registry {
+	r := &registry{eject: eject, readmit: readmit, met: met}
+	for _, a := range addrs {
+		r.workers = append(r.workers, &workerInfo{addr: a})
+	}
+	return r
+}
+
+// healthy reports whether w currently receives dispatches.
+func (w *workerInfo) healthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state == StateHealthy
+}
+
+// markFailure records one failed probe or dispatch against w and ejects it
+// once the consecutive-failure threshold is reached.
+func (r *registry) markFailure(w *workerInfo) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.consecOKs = 0
+	w.consecFails++
+	if w.state == StateHealthy && w.consecFails >= r.eject {
+		w.state = StateEjected
+		r.met.ejections.Add(1)
+	}
+}
+
+// markSuccess records one successful probe or dispatch and readmits an
+// ejected worker once it has proven itself ReadmitAfter times in a row.
+func (r *registry) markSuccess(w *workerInfo) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.consecFails = 0
+	if w.state == StateEjected {
+		w.consecOKs++
+		if w.consecOKs >= r.readmit {
+			w.state = StateHealthy
+			w.consecOKs = 0
+			r.met.readmissions.Add(1)
+		}
+	}
+}
+
+// healthyCount returns the number of workers currently receiving traffic.
+func (r *registry) healthyCount() int {
+	n := 0
+	for _, w := range r.workers {
+		if w.healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// probe issues one health check against w and feeds the outcome into the
+// state machine. Any response with status 200 counts as alive; a draining
+// worker answers 503 and is treated as gone (it will refuse chunks anyway).
+func (r *registry) probe(ctx context.Context, client *http.Client, w *workerInfo) {
+	r.met.probes.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.addr+"/healthz", nil)
+	if err != nil {
+		r.met.probeFailures.Add(1)
+		r.markFailure(w)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		r.met.probeFailures.Add(1)
+		r.markFailure(w)
+		return
+	}
+	resp.Body.Close()
+	r.markSuccess(w)
+}
+
+// probeAll sweeps every worker once. Probes run sequentially — fleets are
+// small and the per-probe timeout bounds the sweep.
+func (r *registry) probeAll(ctx context.Context, client *http.Client) {
+	for _, w := range r.workers {
+		if ctx.Err() != nil {
+			return
+		}
+		r.probe(ctx, client, w)
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerWorker is the number of virtual ring positions per worker. More
+// vnodes smooth the placement distribution; the value is modest because
+// fleets here are small (units to tens of workers) and lookups walk the
+// ring anyway.
+const vnodesPerWorker = 64
+
+// ring is a consistent-hash ring over worker indices. Placement is keyed
+// by a chunk's plan-key digest, so identical experiment points land on the
+// worker that already compiled their plans (plan-cache locality), and the
+// failover order for any key is a deterministic walk — worker loss moves
+// only the chunks that hashed to the lost worker, everything else stays
+// put.
+type ring struct {
+	hashes  []uint64
+	workers []int // workers[i] owns hashes[i]
+	n       int   // distinct workers on the ring
+}
+
+// buildRing places n workers (identified by their addresses, hashed per
+// vnode) on the ring. The ring is immutable: health is a lookup-time
+// filter, not a ring rebuild, which is what keeps placement stable when an
+// ejected worker is readmitted.
+func buildRing(addrs []string) *ring {
+	r := &ring{n: len(addrs)}
+	for i, addr := range addrs {
+		for v := 0; v < vnodesPerWorker; v++ {
+			r.hashes = append(r.hashes, hash64(addr+"#"+strconv.Itoa(v)))
+			r.workers = append(r.workers, i)
+		}
+	}
+	sort.Sort(r)
+	return r
+}
+
+func (r *ring) Len() int           { return len(r.hashes) }
+func (r *ring) Less(i, j int) bool { return r.hashes[i] < r.hashes[j] }
+func (r *ring) Swap(i, j int) {
+	r.hashes[i], r.hashes[j] = r.hashes[j], r.hashes[i]
+	r.workers[i], r.workers[j] = r.workers[j], r.workers[i]
+}
+
+// order returns every distinct worker index in clockwise ring order
+// starting at key's hash. order(key)[0] is the preferred placement;
+// subsequent entries are the deterministic failover sequence.
+func (r *ring) order(key string) []int {
+	out := make([]int, 0, r.n)
+	if r.n == 0 {
+		return out
+	}
+	seen := make([]bool, r.n)
+	h := hash64(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	for i := 0; len(out) < r.n; i++ {
+		w := r.workers[(start+i)%len(r.hashes)]
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// hash64 is FNV-1a finished with a murmur-style mixer — stable across
+// processes and Go versions, which the placement determinism tests rely on.
+// Raw FNV-1a barely avalanches on short strings with a shared prefix
+// ("addr#0".."addr#63", sequential digests), leaving every input clustered
+// in one narrow hash band; the finalizer scatters those bands across the
+// full 64-bit ring.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"errors"
+	"math/rand"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -49,6 +51,17 @@ func (g *gate) acquire(ctx context.Context) error {
 func (g *gate) release() {
 	<-g.sem
 	g.admitted.Add(-1)
+}
+
+// retryAfterSeconds returns the jittered Retry-After hint for a 503: a
+// whole number of seconds in [1, 3]. Shedding hands every rejected client
+// the same hint, so a constant here would resynchronize them into a retry
+// stampede — coordinator chunk retries made that failure mode routine
+// rather than hypothetical. The header grammar only allows integral
+// seconds, so the jitter is coarse; clients (and the cluster dispatcher)
+// add their own sub-second jitter on top.
+func retryAfterSeconds() string {
+	return strconv.Itoa(1 + rand.Intn(3))
 }
 
 // waiting returns the number of requests currently queued (admitted but not

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"pimnet/internal/metrics"
+	"pimnet/internal/sweep"
+)
+
+// GridPoint is one (dpus, bytes_per_node) cell of a sweep grid. A sweep's
+// grid is the row-major cross product of its DPU populations and payload
+// sizes; chunk requests carry explicit point lists so a coordinator can
+// slice the grid any way it likes.
+type GridPoint struct {
+	DPUs         int   `json:"dpus"`
+	BytesPerNode int64 `json:"bytes_per_node"`
+}
+
+// ChunkRequest is the wire form of POST /v1/chunk: one contiguous slice of
+// a sweep grid, dispatched coordinator-to-worker. The endpoint is the
+// internal fan-out surface of cluster mode — clients normally use
+// /v1/sweep — but it validates as strictly as the public endpoints because
+// a coordinator bug must fail loudly, not corrupt a study.
+type ChunkRequest struct {
+	Backend  string `json:"backend,omitempty"`
+	Pattern  string `json:"pattern,omitempty"`
+	Op       string `json:"op,omitempty"`
+	ElemSize int    `json:"elem_size,omitempty"`
+	// Workers bounds this chunk's worker pool exactly like
+	// SweepRequest.Workers.
+	Workers int `json:"workers,omitempty"`
+	// SweepID identifies the parent sweep (trace correlation only; it does
+	// not affect execution or results).
+	SweepID string `json:"sweep_id,omitempty"`
+	// Chunk is the chunk's index within the parent sweep (trace/debugging
+	// only).
+	Chunk int `json:"chunk,omitempty"`
+	// Points is the chunk's grid slice, in the parent sweep's row-major
+	// order. Results come back in the same order.
+	Points []GridPoint `json:"points"`
+}
+
+// ChunkResponse is the wire form of a successful chunk execution: one
+// SweepPoint per requested point, in request order. Every field is a pure
+// function of the request, so identical chunks always marshal to
+// byte-identical responses — the property hedged duplicate dispatches rely
+// on.
+type ChunkResponse struct {
+	Points []SweepPoint `json:"points"`
+}
+
+// chunkErrorBody is the structured 422 body of a failed chunk: the
+// chunk-local index of the lowest failing point plus its bare error
+// message, so a coordinator can rebuild the global lowest-index error the
+// single-node sweep would have reported.
+type chunkErrorBody struct {
+	Error string `json:"error"`
+	Point int    `json:"point"`
+}
+
+// PointError is a deterministic execution failure of one sweep point. It
+// preserves the sweep engine's lowest-index error contract across the
+// chunk wire: Index is the point's position (chunk-local on a worker,
+// global once a coordinator re-maps it), and Error renders exactly the
+// string sweep.Run would have produced.
+type PointError struct {
+	Index int
+	Err   error
+}
+
+func (e *PointError) Error() string { return fmt.Sprintf("sweep: point %d: %v", e.Index, e.Err) }
+
+func (e *PointError) Unwrap() error { return e.Err }
+
+// ExpandSweep validates a sweep request's grid and returns the normalized
+// request (defaults applied, names lowercased), the grid's points in
+// row-major order, and each point's plan-key digest — the placement key a
+// coordinator hashes for plan-cache locality. It performs exactly the
+// validation DecodeSweepRequest does, so a grid that expands here executes
+// everywhere.
+func ExpandSweep(req SweepRequest, maxPoints int) (SweepRequest, []GridPoint, []string, error) {
+	norm, pts, err := req.normalizeGrid(maxPoints)
+	if err != nil {
+		return norm, nil, nil, err
+	}
+	grid := make([]GridPoint, len(pts))
+	keys := make([]string, len(pts))
+	for i, pt := range pts {
+		grid[i] = GridPoint{DPUs: pt.req.Nodes, BytesPerNode: pt.req.BytesPerNode}
+		keys[i] = pt.planKey().Digest()
+	}
+	return norm, grid, keys, nil
+}
+
+// DecodeChunkRequest decodes and normalizes one chunk payload into its
+// executable points (in request order).
+func DecodeChunkRequest(r io.Reader, maxPoints int) (ChunkRequest, []simPoint, error) {
+	var req ChunkRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return ChunkRequest{}, nil, err
+	}
+	pts, err := req.normalize(maxPoints)
+	return req, pts, err
+}
+
+// normalize applies defaults and validates every point of the chunk.
+func (req *ChunkRequest) normalize(maxPoints int) ([]simPoint, error) {
+	if req.Backend == "" {
+		req.Backend = "pimnet"
+	}
+	if req.Pattern == "" {
+		req.Pattern = "allreduce"
+	}
+	if req.Op == "" {
+		req.Op = "sum"
+	}
+	if req.ElemSize == 0 {
+		req.ElemSize = 4
+	}
+	if len(req.Points) == 0 {
+		return nil, errors.New("chunk must name at least one point")
+	}
+	if len(req.Points) > maxPoints {
+		return nil, fmt.Errorf("chunk has %d points, server caps at %d", len(req.Points), maxPoints)
+	}
+	points := make([]simPoint, 0, len(req.Points))
+	for _, p := range req.Points {
+		pt, err := normalizeGridPoint(req.Backend, req.Pattern, req.Op, req.ElemSize, p.DPUs, p.BytesPerNode)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	req.Backend = strings.ToLower(req.Backend)
+	req.Pattern = strings.ToLower(req.Pattern)
+	req.Op = strings.ToLower(req.Op)
+	return points, nil
+}
+
+// RunChunk executes one chunk request on the server's sweep engine and
+// shared plan cache without passing the admission gate — the handler wraps
+// it in a gated slot; a coordinator running an orphaned chunk locally calls
+// it directly from inside the slot its sweep request already holds (a
+// second acquire there would deadlock a saturated daemon). Failures are
+// *PointError with chunk-local indices.
+func (s *Server) RunChunk(ctx context.Context, req ChunkRequest) ([]SweepPoint, error) {
+	pts, err := req.normalize(s.cfg.MaxSweepPoints)
+	if err != nil {
+		return nil, err
+	}
+	res, stats, err := s.runPoints(ctx, pts, req.Workers)
+	s.met.mergeSweep(stats)
+	return res, err
+}
+
+// runPoints fans validated points onto the sweep engine with the shared
+// plan cache and returns grid-ordered results. On failure the error is a
+// *PointError carrying the lowest failing index (the sweep determinism
+// contract), except for pure cancellation, where the context error is
+// returned as-is.
+func (s *Server) runPoints(ctx context.Context, points []simPoint, workers int) ([]SweepPoint, metrics.SweepStats, error) {
+	if workers <= 0 || workers > s.cfg.MaxSweepWorkers {
+		workers = s.cfg.MaxSweepWorkers
+	}
+	errs := make([]error, len(points))
+	results, stats, err := sweep.Run(points, func(c *sweep.Context, pt simPoint) (SweepPoint, error) {
+		sp, err := s.runOnePoint(pt)
+		errs[c.Index] = err
+		return sp, err
+	}, sweep.WithWorkers(workers), sweep.WithCache(s.cache), sweep.WithContext(ctx))
+	if err != nil {
+		for i, perr := range errs {
+			if perr != nil {
+				return results, stats, &PointError{Index: i, Err: perr}
+			}
+		}
+		// No point-level failure recorded: the run was cancelled before
+		// reaching any failing point.
+		if cerr := ctx.Err(); cerr != nil {
+			return results, stats, cerr
+		}
+		return results, stats, err
+	}
+	return results, stats, nil
+}
+
+// runOnePoint executes one grid point: build the backend, run the
+// collective, render the deterministic result.
+func (s *Server) runOnePoint(pt simPoint) (SweepPoint, error) {
+	be, _, err := s.buildBackend(pt)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	res, err := be.Collective(pt.req)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{
+		DPUs:         pt.req.Nodes,
+		BytesPerNode: pt.req.BytesPerNode,
+		TimePs:       res.Time,
+		Time:         res.Time.String(),
+		Breakdown:    res.Breakdown,
+		PlanKey:      pt.planKey().Digest(),
+	}, nil
+}
+
+// handleChunk is the coordinator-facing chunk endpoint: decode -> admit ->
+// execute -> respond. Chunks pass the same admission gate as sweeps; the
+// structured 422 body preserves the failing point's index for the
+// coordinator's lowest-index error reassembly.
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	s.met.chunk.Add(1)
+	if !s.begin() {
+		s.met.rejected.Add(1)
+		s.write(w, overloadResponse("server is draining"))
+		return
+	}
+	defer s.inflight.Done()
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	req, pts, err := DecodeChunkRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxSweepPoints)
+	if err != nil {
+		s.write(w, errorResponse(http.StatusBadRequest, err))
+		return
+	}
+	s.write(w, s.executeGated(ctx, func(ctx context.Context) response {
+		results, stats, err := s.runPoints(ctx, pts, req.Workers)
+		s.met.mergeSweep(stats)
+		if err != nil {
+			if ctx.Err() != nil {
+				return deadlineResponse(ctx.Err())
+			}
+			var pe *PointError
+			if errors.As(err, &pe) {
+				return chunkErrorResponse(pe)
+			}
+			return errorResponse(http.StatusUnprocessableEntity, err)
+		}
+		return okResponse(ChunkResponse{Points: results})
+	}))
+}
+
+// chunkErrorResponse renders a point failure as the structured 422 chunk
+// error body.
+func chunkErrorResponse(pe *PointError) response {
+	body, _ := json.Marshal(chunkErrorBody{Error: pe.Err.Error(), Point: pe.Index})
+	return response{status: http.StatusUnprocessableEntity, body: body}
+}
+
+// DecodeChunkError parses a worker's structured 422 chunk error body back
+// into a chunk-local *PointError. It fails when the body is not the
+// structured form (a plain {"error": ...} from decode validation, say) —
+// the caller then surfaces the raw body instead.
+func DecodeChunkError(body []byte) (*PointError, error) {
+	var wire struct {
+		Error *string `json:"error"`
+		Point *int    `json:"point"`
+	}
+	if err := json.Unmarshal(body, &wire); err != nil {
+		return nil, err
+	}
+	if wire.Error == nil || wire.Point == nil {
+		return nil, errors.New("serve: not a structured chunk error")
+	}
+	return &PointError{Index: *wire.Point, Err: errors.New(*wire.Error)}, nil
+}

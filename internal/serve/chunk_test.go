@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// TestChunkEndpointMatchesSweepSubrange: a /v1/chunk covering a contiguous
+// slice of a grid must return exactly the corresponding points of the full
+// /v1/sweep response — the property the coordinator's reassembly is built
+// on.
+func TestChunkEndpointMatchesSweepSubrange(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, _, body := post(t, ts.URL+"/v1/sweep",
+		`{"pattern": "allreduce", "dpus": [64, 256], "bytes_per_node": [4096, 16384]}`)
+	if status != http.StatusOK {
+		t.Fatalf("sweep: %d %s", status, body)
+	}
+	var sweep SweepResponse
+	if err := json.Unmarshal(body, &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 4 {
+		t.Fatalf("sweep returned %d points, want 4", len(sweep.Points))
+	}
+
+	// The grid is row-major over dpus x bytes; points 1-2 span the row
+	// boundary, which is exactly the slice a mid-grid chunk carries.
+	status, _, body = post(t, ts.URL+"/v1/chunk",
+		`{"pattern": "allreduce", "chunk": 1, "points": [
+			{"dpus": 64, "bytes_per_node": 16384},
+			{"dpus": 256, "bytes_per_node": 4096}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("chunk: %d %s", status, body)
+	}
+	var chunk ChunkResponse
+	if err := json.Unmarshal(body, &chunk); err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk.Points) != 2 {
+		t.Fatalf("chunk returned %d points, want 2", len(chunk.Points))
+	}
+	for i, pt := range chunk.Points {
+		if pt != sweep.Points[i+1] {
+			t.Fatalf("chunk point %d = %+v, want sweep point %d = %+v", i, pt, i+1, sweep.Points[i+1])
+		}
+	}
+}
+
+// TestChunkEndpointValidates: malformed chunk requests are 400s, and an
+// empty fleet-internal endpoint still enforces the grid cap.
+func TestChunkEndpointValidates(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepPoints: 2})
+	for name, body := range map[string]string{
+		"no points":      `{"pattern": "allreduce", "points": []}`,
+		"bad pattern":    `{"pattern": "nope", "points": [{"dpus": 64, "bytes_per_node": 4096}]}`,
+		"zero dpus":      `{"pattern": "allreduce", "points": [{"dpus": 0, "bytes_per_node": 4096}]}`,
+		"over point cap": `{"pattern": "allreduce", "points": [{"dpus": 64, "bytes_per_node": 1}, {"dpus": 64, "bytes_per_node": 2}, {"dpus": 64, "bytes_per_node": 3}]}`,
+		"not json":       `{`,
+	} {
+		status, _, resp := post(t, ts.URL+"/v1/chunk", body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, status, resp)
+		}
+	}
+}
+
+// TestRetryAfterJitter: every shed response must carry a small jittered
+// Retry-After in 1..3 seconds so stampeding clients decorrelate instead of
+// re-arriving in lockstep.
+func TestRetryAfterJitter(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		v, err := strconv.Atoi(retryAfterSeconds())
+		if err != nil {
+			t.Fatalf("Retry-After %q is not an integer: %v", retryAfterSeconds(), err)
+		}
+		if v < 1 || v > 3 {
+			t.Fatalf("Retry-After %d outside 1..3", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 draws produced only %v: jitter missing", seen)
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// coalesceBody is a simulate payload heavy enough that followers would
+// plausibly pile onto the leader's flight in production.
+const coalesceBody = `{"pattern": "allreduce", "bytes_per_node": 32768, "dpus": 256}`
+
+// fireFollowers launches n identical requests and returns a wait function
+// yielding their (status, body) pairs. Followers join the leader's flight;
+// the caller is responsible for having parked the leader first.
+func fireFollowers(t *testing.T, url string, n int) func() ([]int, [][]byte) {
+	t.Helper()
+	statuses := make([]int, n)
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(url+"/v1/simulate", "application/json", strings.NewReader(coalesceBody))
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	return func() ([]int, [][]byte) {
+		wg.Wait()
+		return statuses, bodies
+	}
+}
+
+// TestCoalescedFollowersGetLeaderCancellation: the leader's client gives
+// up mid-flight. The leader must still finish the flight, and every
+// follower must promptly receive the leader's complete 499 response —
+// identical, well-formed bytes — rather than hanging until their own
+// deadlines or reading a partial body.
+func TestCoalescedFollowersGetLeaderCancellation(t *testing.T) {
+	s := New(Config{})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.testHookExecute = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	// Wrap the server to capture the leader's server-side request context:
+	// client disconnect propagates to it asynchronously, and the test must
+	// wait for the server to have observed the cancellation before letting
+	// the leader resume — otherwise the leader races to a 200.
+	var ctxMu sync.Mutex
+	var leaderReqCtx context.Context
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctxMu.Lock()
+		if leaderReqCtx == nil { // the leader is the first request in
+			leaderReqCtx = r.Context()
+		}
+		ctxMu.Unlock()
+		s.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	// The leader runs on a context the test cancels mid-execution.
+	lctx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderErr := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(lctx, http.MethodPost, ts.URL+"/v1/simulate", strings.NewReader(coalesceBody))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		leaderErr <- err
+	}()
+	<-entered // leader is parked inside its admission slot
+
+	const followers = 3
+	wait := fireFollowers(t, ts.URL, followers)
+	waitUntil(t, "followers to join the flight", func() bool {
+		return s.met.coalesced.Load() == followers
+	})
+
+	cancelLeader()
+	if err := <-leaderErr; err == nil {
+		t.Fatal("leader client returned without error despite cancellation")
+	}
+	waitUntil(t, "server to observe the leader's cancellation", func() bool {
+		ctxMu.Lock()
+		defer ctxMu.Unlock()
+		return leaderReqCtx != nil && leaderReqCtx.Err() != nil
+	})
+	close(release) // leader resumes, observes its dead context, finishes the flight
+
+	statuses, bodies := wait()
+	for i := 0; i < followers; i++ {
+		if statuses[i] != 499 {
+			t.Fatalf("follower %d: status %d (body %s), want the leader's 499", i, statuses[i], bodies[i])
+		}
+		var wire struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(bodies[i], &wire); err != nil {
+			t.Fatalf("follower %d received partial/invalid bytes %q: %v", i, bodies[i], err)
+		}
+		if wire.Error != "client canceled request" {
+			t.Fatalf("follower %d: error %q", i, wire.Error)
+		}
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("follower bodies diverged: %q vs %q", bodies[i], bodies[0])
+		}
+	}
+}
+
+// TestCoalescedFollowersGetLeaderPanic: the leader panics mid-execution.
+// Panic recovery renders the 500, the flight still finishes, and every
+// follower receives that complete 500 — a crashed leader must never strand
+// its followers.
+func TestCoalescedFollowersGetLeaderPanic(t *testing.T) {
+	s := New(Config{})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.testHookExecute = func() {
+		entered <- struct{}{}
+		<-release
+		panic("boom")
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	leaderDone := make(chan struct{})
+	var leaderStatus int
+	var leaderBody []byte
+	go func() {
+		defer close(leaderDone)
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(coalesceBody))
+		if err != nil {
+			t.Errorf("leader: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		leaderStatus = resp.StatusCode
+		leaderBody, _ = io.ReadAll(resp.Body)
+	}()
+	<-entered
+
+	const followers = 3
+	wait := fireFollowers(t, ts.URL, followers)
+	waitUntil(t, "followers to join the flight", func() bool {
+		return s.met.coalesced.Load() == followers
+	})
+
+	close(release) // leader resumes and panics
+	<-leaderDone
+	if leaderStatus != http.StatusInternalServerError {
+		t.Fatalf("leader status %d (body %s), want 500", leaderStatus, leaderBody)
+	}
+	if !strings.Contains(string(leaderBody), "internal panic") {
+		t.Fatalf("leader body %q does not report the panic", leaderBody)
+	}
+
+	statuses, bodies := wait()
+	for i := 0; i < followers; i++ {
+		if statuses[i] != http.StatusInternalServerError {
+			t.Fatalf("follower %d: status %d (body %s), want the leader's 500", i, statuses[i], bodies[i])
+		}
+		if string(bodies[i]) != string(leaderBody) {
+			t.Fatalf("follower %d bytes %q differ from leader %q", i, bodies[i], leaderBody)
+		}
+	}
+
+	// The server must survive: the panicking hook is gone, the next
+	// identical request starts a fresh flight and succeeds.
+	s.testHookExecute = nil
+	status, _, body := post(t, ts.URL+"/v1/simulate", coalesceBody)
+	if status != http.StatusOK {
+		t.Fatalf("server did not recover after leader panic: %d %s", status, body)
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"pimnet/internal/core"
 	"pimnet/internal/machine"
 	"pimnet/internal/report"
-	"pimnet/internal/sweep"
 	"pimnet/internal/trace"
 )
 
@@ -124,28 +123,7 @@ func findWorkload(name string, nodes int, seed int64, scaled bool) (*pimnet.Work
 // sweep.WithContext, so an expired request deadline stops scheduling new
 // points promptly.
 func (s *Server) executeSweep(ctx context.Context, req SweepRequest, points []simPoint) response {
-	workers := req.Workers
-	if workers <= 0 || workers > s.cfg.MaxSweepWorkers {
-		workers = s.cfg.MaxSweepWorkers
-	}
-	results, stats, err := sweep.Run(points, func(c *sweep.Context, pt simPoint) (SweepPoint, error) {
-		be, _, err := s.buildBackend(pt)
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		res, err := be.Collective(pt.req)
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		return SweepPoint{
-			DPUs:         pt.req.Nodes,
-			BytesPerNode: pt.req.BytesPerNode,
-			TimePs:       res.Time,
-			Time:         res.Time.String(),
-			Breakdown:    res.Breakdown,
-			PlanKey:      pt.planKey().Digest(),
-		}, nil
-	}, sweep.WithWorkers(workers), sweep.WithCache(s.cache), sweep.WithContext(ctx))
+	results, stats, err := s.runPoints(ctx, points, req.Workers)
 	s.met.mergeSweep(stats)
 	if err != nil {
 		if ctx.Err() != nil {

@@ -51,6 +51,7 @@ type serverMetrics struct {
 
 	simulate atomic.Uint64 // /v1/simulate requests
 	sweep    atomic.Uint64 // /v1/sweep requests
+	chunk    atomic.Uint64 // /v1/chunk requests (cluster-mode fan-out)
 	healthz  atomic.Uint64
 	metrics  atomic.Uint64
 
@@ -101,6 +102,9 @@ type MetricsSnapshot struct {
 	// windowed plan-cache hit rate the sweep engine measures).
 	Sweep   report.SweepStatsJSON `json:"sweep"`
 	Latency HistogramSnapshot     `json:"latency"`
+	// Cluster is the coordinator's dispatch/health snapshot (coordinator
+	// mode only; absent on plain daemons and workers).
+	Cluster any `json:"cluster,omitempty"`
 }
 
 // PlanCacheSnapshot is the wire form of core.CacheStats plus the derived hit
@@ -113,8 +117,9 @@ type PlanCacheSnapshot struct {
 }
 
 // snapshot renders the current counters. gateWaiting is the admission
-// queue's current depth; cache is the process-wide plan cache.
-func (m *serverMetrics) snapshot(gateWaiting int64, cache *core.PlanCache) MetricsSnapshot {
+// queue's current depth; cache is the process-wide plan cache; cluster is
+// the coordinator snapshot (nil outside coordinator mode).
+func (m *serverMetrics) snapshot(gateWaiting int64, cache *core.PlanCache, cluster any) MetricsSnapshot {
 	cs := cache.Stats()
 	rate := 0.0
 	if total := cs.Hits + cs.Misses; total > 0 {
@@ -137,6 +142,7 @@ func (m *serverMetrics) snapshot(gateWaiting int64, cache *core.PlanCache) Metri
 		Requests: map[string]uint64{
 			"simulate": m.simulate.Load(),
 			"sweep":    m.sweep.Load(),
+			"chunk":    m.chunk.Load(),
 			"healthz":  m.healthz.Load(),
 			"metrics":  m.metrics.Load(),
 		},
@@ -149,5 +155,6 @@ func (m *serverMetrics) snapshot(gateWaiting int64, cache *core.PlanCache) Metri
 		PlanCache: PlanCacheSnapshot{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries, HitRate: rate},
 		Sweep:     agg,
 		Latency:   hs,
+		Cluster:   cluster,
 	}
 }

@@ -336,6 +336,14 @@ func DecodeSweepRequest(r io.Reader, maxPoints int) (SweepRequest, []simPoint, e
 	if err := decodeJSON(r, &req); err != nil {
 		return SweepRequest{}, nil, err
 	}
+	return req.normalizeGrid(maxPoints)
+}
+
+// normalizeGrid applies defaults, validates the grid, and expands it into
+// executable points in row-major order. It is the shared expansion path of
+// /v1/sweep decoding and the coordinator's ExpandSweep, so both agree
+// exactly on what a grid means.
+func (req SweepRequest) normalizeGrid(maxPoints int) (SweepRequest, []simPoint, error) {
 	if req.Backend == "" {
 		req.Backend = "pimnet"
 	}
@@ -360,17 +368,9 @@ func DecodeSweepRequest(r io.Reader, maxPoints int) (SweepRequest, []simPoint, e
 	points := make([]simPoint, 0, len(req.DPUs)*len(req.BytesPerNode))
 	for _, d := range req.DPUs {
 		for _, b := range req.BytesPerNode {
-			if d < 1 {
-				return req, nil, fmt.Errorf("dpus value %d must be >= 1", d)
-			}
-			if b < 1 {
-				return req, nil, fmt.Errorf("bytes_per_node value %d must be >= 1", b)
-			}
-			one := SimulateRequest{Backend: req.Backend, Pattern: req.Pattern, Op: req.Op,
-				BytesPerNode: b, ElemSize: req.ElemSize, DPUs: d}
-			_, pt, err := one.normalize()
+			pt, err := normalizeGridPoint(req.Backend, req.Pattern, req.Op, req.ElemSize, d, b)
 			if err != nil {
-				return req, nil, fmt.Errorf("point dpus=%d bytes_per_node=%d: %w", d, b, err)
+				return req, nil, err
 			}
 			points = append(points, pt)
 		}
@@ -379,4 +379,21 @@ func DecodeSweepRequest(r io.Reader, maxPoints int) (SweepRequest, []simPoint, e
 	req.Pattern = strings.ToLower(req.Pattern)
 	req.Op = strings.ToLower(req.Op)
 	return req, points, nil
+}
+
+// normalizeGridPoint validates one grid cell into an executable point.
+func normalizeGridPoint(backend, pattern, op string, elemSize, dpus int, bytesPerNode int64) (simPoint, error) {
+	if dpus < 1 {
+		return simPoint{}, fmt.Errorf("dpus value %d must be >= 1", dpus)
+	}
+	if bytesPerNode < 1 {
+		return simPoint{}, fmt.Errorf("bytes_per_node value %d must be >= 1", bytesPerNode)
+	}
+	one := SimulateRequest{Backend: backend, Pattern: pattern, Op: op,
+		BytesPerNode: bytesPerNode, ElemSize: elemSize, DPUs: dpus}
+	_, pt, err := one.normalize()
+	if err != nil {
+		return simPoint{}, fmt.Errorf("point dpus=%d bytes_per_node=%d: %w", dpus, bytesPerNode, err)
+	}
+	return pt, nil
 }

@@ -59,6 +59,26 @@ type Config struct {
 	// one). Passing a cache lets several servers — or a server plus batch
 	// jobs — share one.
 	Cache *core.PlanCache
+	// Sweeper, when non-nil, replaces local sweep execution: decoded
+	// /v1/sweep requests are delegated to it after validation. This is the
+	// coordinator-mode hook — cmd/pimnetd plugs in a cluster coordinator
+	// that fans the grid over workers via /v1/chunk. Delegated sweeps still
+	// pass this server's admission gate, so a coordinator sheds load
+	// exactly like a single node.
+	Sweeper SweepRunner
+	// ClusterMetrics, when non-nil, is polled by GET /metrics and embedded
+	// in the snapshot as "cluster" (coordinator mode only).
+	ClusterMetrics func() any
+}
+
+// SweepRunner executes a validated sweep request end to end. The
+// implementation must honor the sweep determinism contract: the returned
+// Points must be exactly what a local sweep.Run over the same grid would
+// produce, and failures must report the lowest-indexed failing point
+// (return a *PointError with the global index). Context errors abort with
+// the context's error.
+type SweepRunner interface {
+	RunSweep(ctx context.Context, req SweepRequest) (*SweepResponse, error)
 }
 
 // withDefaults resolves the zero-value fields.
@@ -118,6 +138,7 @@ func New(cfg Config) *Server {
 	s.met.start = time.Now()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/chunk", s.handleChunk)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -201,7 +222,7 @@ func (s *Server) write(w http.ResponseWriter, resp response) {
 	s.met.recordStatus(resp.status)
 	w.Header().Set("Content-Type", "application/json")
 	if resp.retryAfter {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSeconds())
 	}
 	w.WriteHeader(resp.status)
 	w.Write(resp.body)
@@ -271,9 +292,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.write(w, errorResponse(http.StatusBadRequest, err))
 		return
 	}
+	if s.cfg.Sweeper != nil {
+		s.write(w, s.executeGated(ctx, func(ctx context.Context) response {
+			return s.executeDelegatedSweep(ctx, req)
+		}))
+		return
+	}
 	s.write(w, s.executeGated(ctx, func(ctx context.Context) response {
 		return s.executeSweep(ctx, req, points)
 	}))
+}
+
+// executeDelegatedSweep hands a validated sweep to the configured
+// SweepRunner (coordinator mode) and maps its failure classes: context
+// errors to 504/499, deterministic point failures to 422 (the same class a
+// local execution produces), and anything else — the cluster genuinely
+// could not complete the sweep — to 502.
+func (s *Server) executeDelegatedSweep(ctx context.Context, req SweepRequest) response {
+	resp, err := s.cfg.Sweeper.RunSweep(ctx, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return deadlineResponse(ctx.Err())
+		}
+		var pe *PointError
+		if errors.As(err, &pe) {
+			return errorResponse(http.StatusUnprocessableEntity, err)
+		}
+		return errorResponse(http.StatusBadGateway, err)
+	}
+	return okResponse(*resp)
 }
 
 // executeGated runs fn inside the bounded admission gate with panic
@@ -326,5 +373,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the observability snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.metrics.Add(1)
-	s.write(w, okResponse(s.met.snapshot(s.gate.waiting(), s.cache)))
+	var cluster any
+	if s.cfg.ClusterMetrics != nil {
+		cluster = s.cfg.ClusterMetrics()
+	}
+	s.write(w, okResponse(s.met.snapshot(s.gate.waiting(), s.cache, cluster)))
 }

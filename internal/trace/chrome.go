@@ -71,6 +71,8 @@ func track(ev Event) string {
 		return "engine"
 	case KindFaultDetected, KindRetry, KindReroute, KindFallback:
 		return "recovery"
+	case KindChunkDispatch, KindChunkRetry, KindChunkHedge, KindChunkLocal:
+		return "cluster"
 	default:
 		return "misc"
 	}

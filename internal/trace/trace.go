@@ -58,13 +58,32 @@ const (
 	KindReroute
 	// KindFallback marks the ladder degrading to the host-relay backend.
 	KindFallback
+	// Chunk kinds are emitted by the cluster coordinator, one tier above
+	// the simulator. Unlike the kinds above, their Start/End are wall-clock
+	// nanoseconds since the parent sweep began (there is no simulated
+	// timeline at the coordinator); Seq carries the chunk index and From
+	// the dispatch attempt number.
+	//
+	// KindChunkDispatch is one remote dispatch attempt of a sweep chunk
+	// (span; Name is the worker's base URL).
+	KindChunkDispatch
+	// KindChunkRetry is the backoff wait before a chunk's re-dispatch
+	// (span; From is the attempt about to run).
+	KindChunkRetry
+	// KindChunkHedge marks a hedged duplicate dispatch of a straggler
+	// chunk (point; Name is the hedge worker's base URL).
+	KindChunkHedge
+	// KindChunkLocal is a chunk's local-fallback execution on the
+	// coordinator after remote attempts were exhausted or no worker was
+	// healthy (span).
+	KindChunkLocal
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"phase-start", "phase-end", "link-busy", "sync-tree", "mem-stage",
 	"host-stage", "engine-step", "fault-detected", "retry", "reroute",
-	"fallback",
+	"fallback", "chunk-dispatch", "chunk-retry", "chunk-hedge", "chunk-local",
 }
 
 // String returns the kind's short name.
@@ -80,7 +99,8 @@ func (k Kind) String() string {
 func (k Kind) Span() bool {
 	switch k {
 	case KindPhaseEnd, KindLinkBusy, KindSyncTree, KindMemStage,
-		KindHostStage, KindRetry, KindReroute:
+		KindHostStage, KindRetry, KindReroute,
+		KindChunkDispatch, KindChunkRetry, KindChunkLocal:
 		return true
 	default:
 		return false
