@@ -9,12 +9,13 @@ GO ?= go
 COVER_PKGS = ./internal/core ./internal/sweep
 COVER_FLOOR = 80
 
-.PHONY: build test vet check cover fuzz bench benchcmp profile golden trace-smoke serve-smoke cluster-smoke
+.PHONY: build test vet check cover fuzz bench benchcmp profile golden trace-smoke serve-smoke cluster-smoke store-smoke
 
 # Benchmarks gated by the regression check (make benchcmp). Engine covers the
-# event queue, Execute covers the plan-replay hot path.
-GATED_BENCH = Engine|Execute
-GATED_PKGS = ./internal/sim ./internal/core
+# event queue, Execute covers the plan-replay hot path, Store covers the
+# persistent store's cold-miss / warm-hit / write paths on the serving tier.
+GATED_BENCH = Engine|Execute|Store
+GATED_PKGS = ./internal/sim ./internal/core ./internal/store
 
 build:
 	$(GO) build ./...
@@ -25,12 +26,13 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The CI gate: static analysis, the race-enabled suite, and the coverage
+# The CI gate: static analysis, the race-enabled suite (which includes the
+# persistent store's crash/corruption/concurrency battery), and the coverage
 # floor must all pass. The benchmark-regression gate runs soft by default
 # (benchmarks are noisy on shared machines); set BENCH_STRICT=1 to make a
 # regression fail the build.
 check:
-	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) cover && $(MAKE) trace-smoke && $(MAKE) serve-smoke && $(MAKE) cluster-smoke
+	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) cover && $(MAKE) trace-smoke && $(MAKE) serve-smoke && $(MAKE) cluster-smoke && $(MAKE) store-smoke
 	@if [ "$(BENCH_STRICT)" = "1" ]; then \
 		$(MAKE) benchcmp; \
 	else \
@@ -49,11 +51,13 @@ cover:
 	done; rm -f /tmp/pimnet-cover.out
 
 # Short fuzz pass over the collective verify interpreter (the recovery
-# ladder's correctness oracle) and the plan-cache key; extend -fuzztime for
-# deeper runs.
+# ladder's correctness oracle), the plan-cache key, and the persistent
+# store's blob codec; extend -fuzztime for deeper runs.
 fuzz:
 	$(GO) test -fuzz=FuzzVerify -fuzztime=30s ./internal/collective/
 	$(GO) test -fuzz=FuzzPlanCacheKey -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzStoreDecode -fuzztime=30s ./internal/store/
+	$(GO) test -fuzz=FuzzStoreRoundTrip -fuzztime=30s ./internal/store/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -95,6 +99,12 @@ serve-smoke:
 # mid-sweep (DESIGN.md §13).
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# Store smoke test: a pimnetd restarted on its -store-dir must answer the
+# same sweep byte-identically with zero plan compiles — every point a store
+# read (DESIGN.md §14).
+store-smoke:
+	sh scripts/store_smoke.sh
 
 # Trace smoke test: a traced 256-DPU AllReduce must produce schema-valid
 # Chrome trace_event JSON (the Perfetto-loadability contract of -trace-out).

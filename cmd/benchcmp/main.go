@@ -1,6 +1,6 @@
 // Command benchcmp is the two halves of the benchmark-regression harness:
 //
-//	go test -bench 'Engine|Execute' -benchmem ./... | benchcmp -emit bench.json
+//	go test -bench 'Engine|Execute|Store' -benchmem ./... | benchcmp -emit bench.json
 //	benchcmp -baseline BENCH_baseline.json -current bench.json
 //
 // -emit parses `go test -bench` output from stdin into the machine-readable
@@ -30,7 +30,7 @@ func main() {
 	flag.StringVar(&o.emit, "emit", "", "parse `go test -bench` output from stdin and write the JSON suite to this file (\"-\" = stdout)")
 	flag.StringVar(&o.baseline, "baseline", "", "baseline suite JSON (compare mode)")
 	flag.StringVar(&o.current, "current", "", "current suite JSON (compare mode)")
-	flag.StringVar(&o.match, "match", `\.Benchmark(Engine|Execute)`, "regexp selecting the gated benchmark keys (pkg.Name)")
+	flag.StringVar(&o.match, "match", `\.Benchmark(Engine|Execute|Store)`, "regexp selecting the gated benchmark keys (pkg.Name)")
 	flag.Float64Var(&o.latencyTol, "latency-tol", 0.10, "allowed fractional latency regression before the gate fails")
 	flag.Parse()
 

@@ -24,6 +24,12 @@
 // execution as the degradation path. Assembled results are byte-identical
 // to a single-node sweep regardless of fleet behavior.
 //
+// With -store-dir the daemon keeps a persistent, content-addressed plan &
+// result store: compiled blueprints and finished results survive restarts
+// (warm daemons answer repeated points and chunks from disk, byte-identical
+// and without simulating), bounded by -store-max-bytes with LRU eviction. A
+// store written by a different build is purged on boot, never trusted.
+//
 // The daemon sheds load with 503 + a jittered Retry-After once
 // -max-inflight requests are executing and -queue-depth more are waiting,
 // coalesces concurrent identical /v1/simulate requests onto one execution,
@@ -48,6 +54,7 @@ import (
 
 	"pimnet/internal/cluster"
 	"pimnet/internal/serve"
+	"pimnet/internal/store"
 	"pimnet/internal/version"
 )
 
@@ -61,6 +68,9 @@ type options struct {
 	maxBody         int64
 	maxSweepPoints  int
 	maxSweepWorkers int
+
+	storeDir      string
+	storeMaxBytes int64
 
 	coordinator  bool
 	workers      string
@@ -81,6 +91,8 @@ func main() {
 	flag.Int64Var(&o.maxBody, "max-body-bytes", 1<<20, "max request body size in bytes")
 	flag.IntVar(&o.maxSweepPoints, "max-sweep-points", 4096, "max grid points in one /v1/sweep request")
 	flag.IntVar(&o.maxSweepWorkers, "max-sweep-workers", 0, "max worker pool per sweep request (0 = GOMAXPROCS)")
+	flag.StringVar(&o.storeDir, "store-dir", "", "persistent plan/result store directory: restarts start hot (empty = no store)")
+	flag.Int64Var(&o.storeMaxBytes, "store-max-bytes", 0, "store disk budget before LRU eviction (0 = unlimited; requires -store-dir)")
 	flag.BoolVar(&o.coordinator, "coordinator", false, "run as a cluster coordinator: fan /v1/sweep grids over -workers")
 	flag.StringVar(&o.workers, "workers", "", "comma-separated worker base URLs (coordinator mode)")
 	flag.IntVar(&o.chunkSize, "chunk-size", 0, "grid points per dispatched chunk (0 = default 8)")
@@ -145,6 +157,12 @@ func validate(o options) ([]string, error) {
 	if o.probeEvery < 0 {
 		return nil, fmt.Errorf("-probe-interval must be >= 0, got %v", o.probeEvery)
 	}
+	if o.storeMaxBytes < 0 {
+		return nil, fmt.Errorf("-store-max-bytes must be >= 0, got %d", o.storeMaxBytes)
+	}
+	if o.storeMaxBytes > 0 && o.storeDir == "" {
+		return nil, errors.New("-store-max-bytes requires -store-dir")
+	}
 	if !o.coordinator {
 		if o.workers != "" {
 			return nil, errors.New("-workers requires -coordinator")
@@ -183,6 +201,22 @@ func run(o options, workers []string) error {
 		MaxBodyBytes:    o.maxBody,
 		MaxSweepPoints:  o.maxSweepPoints,
 		MaxSweepWorkers: o.maxSweepWorkers,
+	}
+
+	if o.storeDir != "" {
+		// The fingerprint stamps the store with this build's compiled-plan
+		// identity; an old directory is purged on open rather than trusted.
+		fp, err := store.Fingerprint()
+		if err != nil {
+			return fmt.Errorf("store fingerprint: %w", err)
+		}
+		st, err := store.Open(store.Config{Dir: o.storeDir, MaxBytes: o.storeMaxBytes, Fingerprint: fp})
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+		stats := st.Stats()
+		fmt.Printf("pimnetd: store %s (%d entries, %d bytes)\n", st.Dir(), stats.Entries, stats.Bytes)
 	}
 
 	// In coordinator mode the server and the coordinator reference each

@@ -41,6 +41,8 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 		{"negative chunk retries", func(o *options) { o.chunkRetries = -1 }, "-chunk-retries"},
 		{"negative chunk timeout", func(o *options) { o.chunkTimeout = -time.Second }, "-chunk-timeout"},
 		{"negative probe interval", func(o *options) { o.probeEvery = -time.Second }, "-probe-interval"},
+		{"negative store bytes", func(o *options) { o.storeMaxBytes = -1 }, "-store-max-bytes"},
+		{"store budget without dir", func(o *options) { o.storeMaxBytes = 1 << 20 }, "-store-dir"},
 		{"workers without coordinator", func(o *options) { o.workers = "http://a:1" }, "-coordinator"},
 		{"coordinator without workers", func(o *options) { o.coordinator = true }, "-workers"},
 		{"coordinator with only commas", func(o *options) { o.coordinator = true; o.workers = ",," }, "-workers"},
@@ -75,5 +77,18 @@ func TestValidateAcceptsGoodFlags(t *testing.T) {
 	}
 	if len(ws) != 2 || ws[0] != "http://10.0.0.1:8080" || ws[1] != "http://10.0.0.2:8080" {
 		t.Fatalf("workers = %v", ws)
+	}
+
+	// A store directory with a byte budget is a legal pairing, as is a
+	// directory with no budget (unlimited).
+	o = defaults()
+	o.storeDir = "/tmp/pimnet-store"
+	o.storeMaxBytes = 64 << 20
+	if _, err := validate(o); err != nil {
+		t.Fatalf("store flags rejected: %v", err)
+	}
+	o.storeMaxBytes = 0
+	if _, err := validate(o); err != nil {
+		t.Fatalf("unbounded store rejected: %v", err)
 	}
 }

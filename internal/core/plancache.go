@@ -235,23 +235,44 @@ func (k PlanKey) Digest() string {
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness counters.
+// Misses count true compiles: a lookup satisfied by the persistence layer is
+// a DiskHit, not a miss — after a warm restart a fully persisted workload
+// runs with Misses == 0.
 type CacheStats struct {
 	Hits, Misses uint64
-	Entries      int
+	// DiskHits counts lookups that missed memory but were satisfied by the
+	// attached BlueprintStore (zero when none is attached).
+	DiskHits uint64
+	Entries  int
 }
 
 // Sub returns the delta s - prev (for windowed measurements around a sweep).
 func (s CacheStats) Sub(prev CacheStats) CacheStats {
-	return CacheStats{Hits: s.Hits - prev.Hits, Misses: s.Misses - prev.Misses, Entries: s.Entries}
+	return CacheStats{Hits: s.Hits - prev.Hits, Misses: s.Misses - prev.Misses,
+		DiskHits: s.DiskHits - prev.DiskHits, Entries: s.Entries}
+}
+
+// BlueprintStore is the optional persistence layer under a PlanCache: a
+// durable keyed blueprint store consulted on memory misses (read-through)
+// and fed on fills (write-behind). Implementations must be safe for
+// concurrent use and strictly best-effort — a load may always report false
+// and a store may silently drop, but a load that reports true must return
+// exactly the blueprint that was stored under k (internal/store enforces
+// this with blob checksums plus the self-verifying blueprint envelope).
+type BlueprintStore interface {
+	LoadBlueprint(k PlanKey) (*Blueprint, bool)
+	StoreBlueprint(k PlanKey, bp *Blueprint)
 }
 
 // PlanCache is a concurrency-safe keyed store of compiled-plan blueprints,
 // shared by all workers of a sweep.
 type PlanCache struct {
-	mu     sync.Mutex
-	plans  map[PlanKey]*Blueprint
-	hits   uint64
-	misses uint64
+	mu       sync.Mutex
+	plans    map[PlanKey]*Blueprint
+	persist  BlueprintStore
+	hits     uint64
+	misses   uint64
+	diskHits uint64
 }
 
 // NewPlanCache returns an empty cache.
@@ -259,40 +280,82 @@ func NewPlanCache() *PlanCache {
 	return &PlanCache{plans: make(map[PlanKey]*Blueprint)}
 }
 
-// Lookup returns the blueprint cached under k, counting a hit or miss.
-func (c *PlanCache) Lookup(k PlanKey) (*Blueprint, bool) {
+// SetPersistence attaches (or, with nil, detaches) the durable blueprint
+// store under the cache. Safe to call while the cache is in use; entries
+// already in memory are unaffected.
+func (c *PlanCache) SetPersistence(p BlueprintStore) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	bp, ok := c.plans[k]
-	if ok {
+	c.persist = p
+}
+
+// Lookup returns the blueprint cached under k. Memory misses read through
+// the attached persistence layer (counted as DiskHits and promoted into
+// memory); only a miss at both layers counts as a Miss — the signal that a
+// compile is about to happen.
+func (c *PlanCache) Lookup(k PlanKey) (*Blueprint, bool) {
+	c.mu.Lock()
+	if bp, ok := c.plans[k]; ok {
 		c.hits++
-	} else {
-		c.misses++
+		c.mu.Unlock()
+		return bp, true
 	}
-	return bp, ok
+	p := c.persist
+	c.mu.Unlock()
+
+	if p != nil {
+		// Disk I/O happens outside the lock so concurrent sweep workers do
+		// not serialize on it. Two goroutines may both load the same key;
+		// blueprints are immutable, so keeping the first promoted instance
+		// is merely a de-dup, not a correctness need.
+		if bp, ok := p.LoadBlueprint(k); ok {
+			c.mu.Lock()
+			if cur, dup := c.plans[k]; dup {
+				bp = cur
+			} else {
+				c.plans[k] = bp
+			}
+			c.diskHits++
+			c.mu.Unlock()
+			return bp, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
 }
 
 // Insert stores bp under k. Blueprints are immutable after insertion; both
-// the cache and every binder share the same instance.
+// the cache and every binder share the same instance. With persistence
+// attached the fill is written behind to the durable store as well (the
+// pristine-only rule is upstream: only blueprints extracted from pristine
+// networks ever reach Insert).
 func (c *PlanCache) Insert(k PlanKey, bp *Blueprint) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.plans[k] = bp
+	p := c.persist
+	c.mu.Unlock()
+	if p != nil {
+		p.StoreBlueprint(k, bp)
+	}
 }
 
 // Stats snapshots the effectiveness counters.
 func (c *PlanCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.plans)}
+	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits, Entries: len(c.plans)}
 }
 
-// Reset drops every entry and zeroes the counters.
+// Reset drops every in-memory entry and zeroes the counters. The attached
+// persistence layer (if any) keeps its entries — Reset models a restart,
+// which is exactly what persistence exists to survive.
 func (c *PlanCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.plans = make(map[PlanKey]*Blueprint)
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.diskHits = 0, 0, 0
 }
 
 // PlanVia compiles req for n through the cache. A nil cache or a

@@ -190,9 +190,14 @@ func (s *Server) runPoints(ctx context.Context, points []simPoint, workers int) 
 	return results, stats, nil
 }
 
-// runOnePoint executes one grid point: build the backend, run the
-// collective, render the deterministic result.
+// runOnePoint executes one grid point: consult the persistent result store
+// first (a warm daemon or cluster worker answers repeated points without
+// simulating), otherwise build the backend, run the collective, render the
+// deterministic result, and write it behind.
 func (s *Server) runOnePoint(pt simPoint) (SweepPoint, error) {
+	if sp, ok := s.storeGetPoint(pt); ok {
+		return sp, nil
+	}
 	be, _, err := s.buildBackend(pt)
 	if err != nil {
 		return SweepPoint{}, err
@@ -201,14 +206,16 @@ func (s *Server) runOnePoint(pt simPoint) (SweepPoint, error) {
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	return SweepPoint{
+	sp := SweepPoint{
 		DPUs:         pt.req.Nodes,
 		BytesPerNode: pt.req.BytesPerNode,
 		TimePs:       res.Time,
 		Time:         res.Time.String(),
 		Breakdown:    res.Breakdown,
 		PlanKey:      pt.planKey().Digest(),
-	}, nil
+	}
+	s.storePutPoint(pt, sp)
+	return sp, nil
 }
 
 // handleChunk is the coordinator-facing chunk endpoint: decode -> admit ->

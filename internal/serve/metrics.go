@@ -102,28 +102,33 @@ type MetricsSnapshot struct {
 	// windowed plan-cache hit rate the sweep engine measures).
 	Sweep   report.SweepStatsJSON `json:"sweep"`
 	Latency HistogramSnapshot     `json:"latency"`
+	// Store is the persistent plan/result store's counters (absent when the
+	// daemon runs without -store-dir).
+	Store *StoreSnapshot `json:"store,omitempty"`
 	// Cluster is the coordinator's dispatch/health snapshot (coordinator
 	// mode only; absent on plain daemons and workers).
 	Cluster any `json:"cluster,omitempty"`
 }
 
 // PlanCacheSnapshot is the wire form of core.CacheStats plus the derived hit
-// rate.
+// rate. Misses count true compiles (a persisted-store hit is a DiskHit) —
+// after a warm restart a fully persisted workload shows misses == 0.
 type PlanCacheSnapshot struct {
-	Hits    uint64  `json:"hits"`
-	Misses  uint64  `json:"misses"`
-	Entries int     `json:"entries"`
-	HitRate float64 `json:"hit_rate"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	DiskHits uint64  `json:"disk_hits"`
+	Entries  int     `json:"entries"`
+	HitRate  float64 `json:"hit_rate"`
 }
 
 // snapshot renders the current counters. gateWaiting is the admission
 // queue's current depth; cache is the process-wide plan cache; cluster is
 // the coordinator snapshot (nil outside coordinator mode).
-func (m *serverMetrics) snapshot(gateWaiting int64, cache *core.PlanCache, cluster any) MetricsSnapshot {
+func (m *serverMetrics) snapshot(gateWaiting int64, cache *core.PlanCache, cluster any, st *StoreSnapshot) MetricsSnapshot {
 	cs := cache.Stats()
 	rate := 0.0
-	if total := cs.Hits + cs.Misses; total > 0 {
-		rate = float64(cs.Hits) / float64(total)
+	if total := cs.Hits + cs.DiskHits + cs.Misses; total > 0 {
+		rate = float64(cs.Hits+cs.DiskHits) / float64(total)
 	}
 	hs := HistogramSnapshot{
 		BoundsMs: latencyBucketsMs[:],
@@ -152,9 +157,11 @@ func (m *serverMetrics) snapshot(gateWaiting int64, cache *core.PlanCache, clust
 		Coalesced: m.coalesced.Load(),
 		InFlight:  m.inFlight.Load(),
 		Queued:    gateWaiting,
-		PlanCache: PlanCacheSnapshot{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries, HitRate: rate},
-		Sweep:     agg,
-		Latency:   hs,
-		Cluster:   cluster,
+		PlanCache: PlanCacheSnapshot{Hits: cs.Hits, Misses: cs.Misses, DiskHits: cs.DiskHits,
+			Entries: cs.Entries, HitRate: rate},
+		Sweep:   agg,
+		Latency: hs,
+		Store:   st,
+		Cluster: cluster,
 	}
 }

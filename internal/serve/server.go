@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"pimnet/internal/core"
+	"pimnet/internal/store"
 )
 
 // Config parameterizes a Server. The zero value selects production-shaped
@@ -59,6 +60,14 @@ type Config struct {
 	// one). Passing a cache lets several servers — or a server plus batch
 	// jobs — share one.
 	Cache *core.PlanCache
+	// Store, when non-nil, is the persistent plan & result store: the plan
+	// cache reads through / writes behind it, and /v1/simulate, /v1/sweep
+	// points, and /v1/chunk points are answered from its result namespace
+	// before any simulation runs. Responses served from the store are
+	// byte-identical to recomputation by construction (only verbatim 200
+	// bodies and completed points are ever stored, under their full result
+	// identity, behind blob checksums).
+	Store *store.Store
 	// Sweeper, when non-nil, replaces local sweep execution: decoded
 	// /v1/sweep requests are delegated to it after validation. This is the
 	// coordinator-mode hook — cmd/pimnetd plugs in a cluster coordinator
@@ -124,6 +133,10 @@ type Server struct {
 	// testHookExecute, when non-nil, runs inside the admission slot before
 	// execution; tests use it to hold slots busy and to observe ordering.
 	testHookExecute func()
+	// testHookStoreHit, when non-nil, runs after a simulate store hit and
+	// before the flight is finished; tests use it to pile followers onto a
+	// store-hit leader.
+	testHookStoreHit func()
 }
 
 // New builds a Server from cfg.
@@ -134,6 +147,12 @@ func New(cfg Config) *Server {
 		cache: cfg.Cache,
 		gate:  newGate(cfg.MaxInFlight, cfg.QueueDepth),
 		mux:   http.NewServeMux(),
+	}
+	if cfg.Store != nil {
+		// Attach the plan cache's persistence layer: compiles performed for
+		// any request write behind to disk, and a restarted daemon's fresh
+		// cache reads them back instead of recompiling.
+		s.cache.SetPersistence(store.PlanAdapter{S: cfg.Store})
 	}
 	s.met.start = time.Now()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -264,9 +283,23 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.write(w, resp)
 		return
 	}
+	// The leader consults the result store before taking an admission slot:
+	// a warm hit is a disk read, not a simulation, so it must not compete
+	// with real work for execution slots. Followers coalesced onto a
+	// store-hit leader receive the stored bytes verbatim, exactly as they
+	// would a computed response.
+	if resp, ok := s.storeGetSimulate(pt); ok {
+		if s.testHookStoreHit != nil {
+			s.testHookStoreHit()
+		}
+		s.flights.finish(pt.key(), f, resp)
+		s.write(w, resp)
+		return
+	}
 	resp := s.executeGated(ctx, func(ctx context.Context) response {
 		return s.executeSimulate(ctx, echo, pt)
 	})
+	s.storePutSimulate(pt, resp)
 	s.flights.finish(pt.key(), f, resp)
 	s.write(w, resp)
 }
@@ -377,5 +410,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.ClusterMetrics != nil {
 		cluster = s.cfg.ClusterMetrics()
 	}
-	s.write(w, okResponse(s.met.snapshot(s.gate.waiting(), s.cache, cluster)))
+	s.write(w, okResponse(s.met.snapshot(s.gate.waiting(), s.cache, cluster, s.storeSnapshot())))
 }

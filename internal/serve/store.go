@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"pimnet/internal/store"
+)
+
+// This file wires the persistent result store (internal/store) into the
+// serving tier. The store's result namespace holds two shapes, both keyed by
+// a digest of the request's full result identity (the coalescing flightKey,
+// which names every field that can change bytes):
+//
+//   - "simulate": the complete rendered /v1/simulate 200 body, returned
+//     verbatim on a warm hit — the same byte-identity construction the
+//     coalescer uses, extended across process lifetimes.
+//   - "point": one SweepPoint of a sweep or chunk grid, so warm daemons and
+//     warm cluster workers answer repeated points without simulating.
+//
+// Only deterministic successes are stored (200s and completed points); a
+// 4xx/5xx, a cancelled leader's 499, or a failing point never enters the
+// store. Reads are strictly best-effort: a miss, a torn blob, a bit flip, or
+// an undecodable payload all fall back to recompute — the store can skip
+// work, never change bytes.
+
+// resultKey derives the result-namespace key for one request identity.
+// kind partitions the namespace ("simulate" vs "point") so the two payload
+// shapes can never collide even for identical flight keys.
+func resultKey(kind string, k flightKey) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%t\x00%d\x00%s\x00%d\x00%s",
+		kind, k.plan, k.backend, k.workload, k.scaled, k.seed, k.faults, k.faultSeed, k.trace)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// storeGetSimulate returns the stored 200 body for pt verbatim, if any.
+func (s *Server) storeGetSimulate(pt simPoint) (response, bool) {
+	if s.cfg.Store == nil {
+		return response{}, false
+	}
+	body, ok := s.cfg.Store.Get(store.NSResults, resultKey("simulate", pt.key()))
+	if !ok {
+		return response{}, false
+	}
+	return response{status: http.StatusOK, body: body}, true
+}
+
+// storePutSimulate persists a freshly rendered simulate response.
+// Write-behind is best-effort: an eviction race or divergence rejection
+// only means the next identical request recomputes.
+func (s *Server) storePutSimulate(pt simPoint, resp response) {
+	if s.cfg.Store == nil || resp.status != http.StatusOK {
+		return
+	}
+	s.cfg.Store.Put(store.NSResults, resultKey("simulate", pt.key()), resp.body)
+}
+
+// storeGetPoint returns the stored result of one sweep/chunk grid point. A
+// stored payload that no longer decodes into a SweepPoint is codec-level
+// corruption: rejected (counted) and recomputed, never served.
+func (s *Server) storeGetPoint(pt simPoint) (SweepPoint, bool) {
+	if s.cfg.Store == nil {
+		return SweepPoint{}, false
+	}
+	key := resultKey("point", pt.key())
+	payload, ok := s.cfg.Store.Get(store.NSResults, key)
+	if !ok {
+		return SweepPoint{}, false
+	}
+	var sp SweepPoint
+	if err := json.Unmarshal(payload, &sp); err != nil {
+		s.cfg.Store.Reject(store.NSResults, key)
+		return SweepPoint{}, false
+	}
+	return sp, true
+}
+
+// storePutPoint persists one completed grid point (best-effort).
+func (s *Server) storePutPoint(pt simPoint, sp SweepPoint) {
+	if s.cfg.Store == nil {
+		return
+	}
+	payload, err := json.Marshal(sp)
+	if err != nil {
+		return
+	}
+	s.cfg.Store.Put(store.NSResults, resultKey("point", pt.key()), payload)
+}
+
+// StoreNSSnapshot is the wire form of one namespace's store counters.
+type StoreNSSnapshot struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Writes    uint64 `json:"writes"`
+	Evictions uint64 `json:"evictions"`
+	Corrupt   uint64 `json:"corrupt"`
+	Divergent uint64 `json:"divergent"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// StoreSnapshot is the "store" section of GET /metrics.
+type StoreSnapshot struct {
+	Plans   StoreNSSnapshot `json:"plans"`
+	Results StoreNSSnapshot `json:"results"`
+	Entries int             `json:"entries"`
+	Bytes   int64           `json:"bytes_on_disk"`
+}
+
+// storeSnapshot renders the attached store's counters (nil without a store).
+func (s *Server) storeSnapshot() *StoreSnapshot {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	st := s.cfg.Store.Stats()
+	conv := func(n store.NSStats) StoreNSSnapshot {
+		return StoreNSSnapshot{Hits: n.Hits, Misses: n.Misses, Writes: n.Writes,
+			Evictions: n.Evictions, Corrupt: n.Corrupt, Divergent: n.Divergent,
+			Entries: n.Entries, Bytes: n.Bytes}
+	}
+	return &StoreSnapshot{
+		Plans:   conv(st.Plans),
+		Results: conv(st.Results),
+		Entries: st.Entries,
+		Bytes:   st.Bytes,
+	}
+}

@@ -1,0 +1,42 @@
+package store
+
+import "pimnet/internal/core"
+
+// PlanAdapter bridges the plan namespace to core.PlanCache's persistence
+// hook: blueprints are serialized through the self-verifying core codec and
+// stored under their PlanKey digest. Persistence is strictly best-effort in
+// both directions — a load failure is a miss (the cache recompiles), a store
+// failure is dropped (the blob layer and the codec both reject rather than
+// serve damage) — so attaching a store can only ever skip work, never change
+// what a plan lookup returns.
+type PlanAdapter struct {
+	S *Store
+}
+
+var _ core.BlueprintStore = PlanAdapter{}
+
+// LoadBlueprint implements read-through: fetch, decode, verify the embedded
+// digest. An undecodable payload inside a valid blob is codec-level
+// corruption — rejected and counted like a bit flip, never bound.
+func (a PlanAdapter) LoadBlueprint(k core.PlanKey) (*core.Blueprint, bool) {
+	key := k.Digest()
+	payload, ok := a.S.Get(NSPlans, key)
+	if !ok {
+		return nil, false
+	}
+	bp, err := core.DecodeBlueprint(payload)
+	if err != nil {
+		a.S.Reject(NSPlans, key)
+		return nil, false
+	}
+	return bp, true
+}
+
+// StoreBlueprint implements write-behind on cache fill.
+func (a PlanAdapter) StoreBlueprint(k core.PlanKey, bp *core.Blueprint) {
+	payload, err := core.EncodeBlueprint(bp)
+	if err != nil {
+		return
+	}
+	a.S.Put(NSPlans, k.Digest(), payload)
+}
