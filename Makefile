@@ -9,13 +9,14 @@ GO ?= go
 COVER_PKGS = ./internal/core ./internal/sweep
 COVER_FLOOR = 80
 
-.PHONY: build test vet check cover fuzz bench benchcmp profile golden trace-smoke serve-smoke cluster-smoke store-smoke
+.PHONY: build test vet check cover fuzz bench benchcmp profile profile-noc golden trace-smoke serve-smoke cluster-smoke store-smoke
 
 # Benchmarks gated by the regression check (make benchcmp). Engine covers the
 # event queue, Execute covers the plan-replay hot path, Store covers the
-# persistent store's cold-miss / warm-hit / write paths on the serving tier.
-GATED_BENCH = Engine|Execute|Store
-GATED_PKGS = ./internal/sim ./internal/core ./internal/store
+# persistent store's cold-miss / warm-hit / write paths on the serving tier,
+# Noc covers the flat packet simulator at 256 and 2560 nodes.
+GATED_BENCH = Engine|Execute|Store|Noc
+GATED_PKGS = ./internal/sim ./internal/core ./internal/store ./internal/noc
 
 build:
 	$(GO) build ./...
@@ -51,13 +52,15 @@ cover:
 	done; rm -f /tmp/pimnet-cover.out
 
 # Short fuzz pass over the collective verify interpreter (the recovery
-# ladder's correctness oracle), the plan-cache key, and the persistent
-# store's blob codec; extend -fuzztime for deeper runs.
+# ladder's correctness oracle), the plan-cache key, the persistent store's
+# blob codec, and the packet NoC's delivery invariants; extend -fuzztime for
+# deeper runs.
 fuzz:
 	$(GO) test -fuzz=FuzzVerify -fuzztime=30s ./internal/collective/
 	$(GO) test -fuzz=FuzzPlanCacheKey -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzStoreDecode -fuzztime=30s ./internal/store/
 	$(GO) test -fuzz=FuzzStoreRoundTrip -fuzztime=30s ./internal/store/
+	$(GO) test -fuzz=FuzzNocDelivery -fuzztime=30s ./internal/noc/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -84,10 +87,17 @@ profile: build
 	$(GO) run ./cmd/pimnetsim -sweep -sweep-dpus 2560 -sweep-bytes 32768 \
 		-pattern allreduce -cpuprofile cpu.pprof -memprofile mem.pprof
 
-# Regenerate the golden-trace corpus after an intentional compiler or
-# executor change; review the diff before committing.
+# CPU + heap profiles of the packet-level NoC adversarial sweep at 2560
+# DPUs — the flat packet core's hot loop.
+profile-noc: build
+	$(GO) run ./cmd/pimnetbench -fig noc -cpuprofile noc-cpu.pprof -memprofile noc-mem.pprof
+
+# Regenerate the golden corpora (compiled-plan traces and the NoC packet
+# simulator's result corpus) after an intentional change; review the diff
+# before committing.
 golden:
 	$(GO) test ./internal/core -run TestGoldenTraces -update
+	$(GO) test ./internal/noc -run TestNocGolden -update
 
 # Serve smoke test: boot pimnetd on an ephemeral port, hit every endpoint,
 # and prove the SIGTERM drain exits 0 — the daemon's end-to-end contract.

@@ -5,6 +5,7 @@
 //
 //	pimnetbench              # run every experiment with paper-sized inputs
 //	pimnetbench -fig 13      # one experiment
+//	pimnetbench -fig noc     # adversarial NoC pattern sweep (2560 DPUs)
 //	pimnetbench -fig ablations  # the A1-A6 design-choice studies
 //	pimnetbench -scaled      # reduced inputs (seconds instead of minutes)
 //	pimnetbench -csv         # machine-readable output
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: 2, 3, 4 (Table IV), 10, 11, 12, 13, 14, 15, 16, 17, hw, a1-a6, ablations, trace, or all")
+	fig := flag.String("fig", "all", "experiment to run: 2, 3, 4 (Table IV), 10, 11, 12, 13, 14, 15, 16, 17, hw, noc, a1-a6, ablations, trace, or all")
 	scaled := flag.Bool("scaled", false, "use reduced workload inputs for a quick run")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
@@ -203,6 +204,18 @@ func run(o options) error {
 	}
 	if want("hw") {
 		_, t := experiments.HWOverhead()
+		emit(t)
+		ran = true
+	}
+	if want("noc") {
+		// The adversarial pattern sweep on the packet-level NoC. Profiling
+		// flags (-cpuprofile/-memprofile/-trace) already bracket run(), so
+		// `pimnetbench -fig noc -cpuprofile cpu.pprof` profiles exactly the
+		// flat packet core's hot loop.
+		_, t, err := experiments.FigNocAdversarial(sw...)
+		if err != nil {
+			return err
+		}
 		emit(t)
 		ran = true
 	}

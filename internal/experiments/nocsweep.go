@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pimnet/internal/noc"
+	"pimnet/internal/report"
+	"pimnet/internal/sweep"
+)
+
+// --- NoC adversarial pattern sweep ---
+
+// NocAdversarialDPUs is the full-machine population the adversarial sweep
+// runs at (the paper's 4x8x80 channel aggregate) — the scale point the flat
+// packet core was built for.
+const NocAdversarialDPUs = 2560
+
+// NocPatternRow is one pattern's credit-vs-PIM-controlled comparison.
+type NocPatternRow struct {
+	Pattern noc.TrafficPattern
+	Credit  noc.PatternResult
+	Static  noc.PatternResult
+}
+
+// Reduction returns the fractional finish-time reduction of PIM-controlled
+// scheduling over credit-based flow control on this pattern.
+func (r NocPatternRow) Reduction() float64 {
+	return 1 - float64(r.Static.Finish)/float64(r.Credit.Finish)
+}
+
+// FigNocAdversarial runs every adversarial traffic pattern under both
+// flow-control modes at full-machine scale on the bounded-worker pattern
+// sweep — the Fig. 13 methodology extended from the two collectives to the
+// NoC literature's worst-case spatial distributions.
+func FigNocAdversarial(opts ...sweep.Option) ([]NocPatternRow, *report.Table, error) {
+	cfg := noc.DefaultConfig(4, 8, NocAdversarialDPUs/(4*8))
+	points := noc.AdversarialGrid(cfg, WeakScalingBytes, 2, 42)
+	results, _, err := noc.SweepPatterns(points, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	// AdversarialGrid interleaves (pattern, credit), (pattern, static).
+	rows := make([]NocPatternRow, 0, len(results)/2)
+	for i := 0; i+1 < len(results); i += 2 {
+		rows = append(rows, NocPatternRow{Pattern: results[i].Pattern,
+			Credit: results[i], Static: results[i+1]})
+	}
+	tbl := report.New(fmt.Sprintf("NoC adversarial patterns — credit-based vs PIM-controlled (%d DPUs)",
+		cfg.Nodes()),
+		"pattern", "credit-based", "PIM-controlled", "static vs credit", "max queue (credit)")
+	for _, r := range rows {
+		tbl.AddRow(r.Pattern.String(), r.Credit.Finish.String(), r.Static.Finish.String(),
+			fmt.Sprintf("%+.1f%%", -r.Reduction()*100), fmt.Sprintf("%d", r.Credit.MaxQueue))
+	}
+	return rows, tbl, nil
+}

@@ -18,6 +18,19 @@
 // flow control. The paper drove this with per-DPU execution times measured
 // on the real UPMEM system; SkewedFinishTimes generates an equivalent
 // deterministic skew profile.
+//
+// Beyond the collectives, the package drives the fabric with synthetic
+// open-loop traffic (uniform-random plus the adversarial hotspot,
+// transpose, tornado, and bursty multi-tenant patterns) and with scripted
+// adversarial permutation workloads under both flow-control modes — the
+// standard NoC-evaluation methodology at full-machine scale.
+//
+// The simulator core is a flat, index-based design built for that scale:
+// hops live in one arena addressed by int32 ids, per-hop queues are ring
+// buffers, waiter lists are intrusive index chains, packet paths are
+// offsets into a shared precomputed path table, and the event flow runs
+// through a pool of reusable callback structs — the steady-state packet
+// path allocates nothing (see DESIGN.md §15).
 package noc
 
 import (
@@ -42,6 +55,18 @@ func (m Mode) String() string {
 		return "credit-based"
 	}
 	return "PIM-controlled"
+}
+
+// ParseMode resolves a flow-control mode name ("credit" / "credit-based" or
+// "static" / "pim-controlled").
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "credit", "credit-based":
+		return CreditBased, nil
+	case "static", "pim-controlled", "PIM-controlled":
+		return StaticScheduled, nil
+	}
+	return 0, fmt.Errorf("noc: unknown mode %q (want credit or static)", s)
 }
 
 // Config sizes the simulated network (one memory channel).
@@ -104,195 +129,4 @@ func SkewedFinishTimes(n int, base, spread sim.Time, seed int64) []sim.Time {
 		out[i] = base + sim.Time(float64(spread)*u*u)
 	}
 	return out
-}
-
-// --- queueing network ---
-
-// hop is a store-and-forward stage with one server, FIFO service, a finite
-// input buffer, and blocking when the downstream buffer is full.
-type hop struct {
-	name    string
-	rate    float64
-	lat     sim.Time
-	cap     int
-	q       []*packet // buffered packets; q[0] may be in service
-	serving bool
-	blocked bool // head finished service but cannot move downstream
-	waiters []func(t sim.Time)
-	maxSeen int
-}
-
-func (h *hop) full() bool { return len(h.q) >= h.cap }
-
-type packet struct {
-	bytes    int64
-	path     []*hop
-	idx      int
-	onArrive func(t sim.Time)
-}
-
-// network drives the hops on a shared engine.
-type network struct {
-	eng *sim.Engine
-	res Result
-}
-
-// admit places pkt into hop h (space must exist) and kicks the server.
-func (nw *network) admit(h *hop, pkt *packet, t sim.Time) {
-	h.q = append(h.q, pkt)
-	if len(h.q) > h.maxSeen {
-		h.maxSeen = len(h.q)
-	}
-	nw.serve(h, t)
-}
-
-// serve starts service on the head packet if the server is idle.
-func (nw *network) serve(h *hop, t sim.Time) {
-	if h.serving || h.blocked || len(h.q) == 0 {
-		return
-	}
-	h.serving = true
-	pkt := h.q[0]
-	done := t + sim.TransferTime(pkt.bytes, h.rate)
-	nw.eng.At(done, func() { nw.finishService(h, pkt) })
-}
-
-// finishService moves the head packet toward the next hop, blocking when
-// the downstream buffer is full (backpressure).
-func (nw *network) finishService(h *hop, pkt *packet) {
-	h.serving = false
-	t := nw.eng.Now()
-	if pkt.idx+1 >= len(pkt.path) {
-		nw.depart(h, pkt, t)
-		return
-	}
-	next := pkt.path[pkt.idx+1]
-	if next.full() {
-		h.blocked = true
-		next.waiters = append(next.waiters, func(t2 sim.Time) {
-			h.blocked = false
-			nw.forward(h, pkt, t2)
-		})
-		return
-	}
-	nw.forward(h, pkt, t)
-}
-
-// forward hands the head packet to the next hop after the wire latency.
-func (nw *network) forward(h *hop, pkt *packet, t sim.Time) {
-	nw.popHead(h, t)
-	pkt.idx++
-	next := pkt.path[pkt.idx]
-	nw.eng.At(t+h.lat, func() { nw.admit(next, pkt, nw.eng.Now()) })
-}
-
-// depart delivers the packet out of the network.
-func (nw *network) depart(h *hop, pkt *packet, t sim.Time) {
-	nw.popHead(h, t)
-	nw.res.PacketsDelivered++
-	if pkt.onArrive != nil {
-		done := t + h.lat
-		nw.eng.At(done, func() { pkt.onArrive(nw.eng.Now()) })
-	}
-}
-
-// popHead removes the head packet, releases one buffer credit to a waiter,
-// and resumes service.
-func (nw *network) popHead(h *hop, t sim.Time) {
-	h.q = h.q[1:]
-	if len(h.waiters) > 0 {
-		w := h.waiters[0]
-		h.waiters = h.waiters[1:]
-		nw.eng.At(t, func() { w(nw.eng.Now()) })
-	}
-	nw.serve(h, t)
-}
-
-// inject queues the packet at its first hop, waiting for a credit if full.
-func (nw *network) inject(pkt *packet, t sim.Time) {
-	first := pkt.path[0]
-	if first.full() {
-		first.waiters = append(first.waiters, func(t2 sim.Time) { nw.inject(pkt, t2) })
-		return
-	}
-	nw.admit(first, pkt, t)
-}
-
-// fabric holds the PIMnet hop graph.
-type fabric struct {
-	cfg  Config
-	ring [][][]*hop // [rank][chip][bank] clockwise segments
-	out  [][]*hop   // [rank][chip] DQ send port
-	in   [][]*hop   // [rank][chip] DQ receive port
-	bus  *hop
-	all  []*hop
-}
-
-func buildFabric(cfg Config) *fabric {
-	f := &fabric{cfg: cfg}
-	mk := func(name string, rate float64) *hop {
-		h := &hop{name: name, rate: rate, lat: cfg.HopLatency, cap: cfg.BufferPackets}
-		f.all = append(f.all, h)
-		return h
-	}
-	f.ring = make([][][]*hop, cfg.Ranks)
-	f.out = make([][]*hop, cfg.Ranks)
-	f.in = make([][]*hop, cfg.Ranks)
-	for r := 0; r < cfg.Ranks; r++ {
-		f.ring[r] = make([][]*hop, cfg.Chips)
-		f.out[r] = make([]*hop, cfg.Chips)
-		f.in[r] = make([]*hop, cfg.Chips)
-		for c := 0; c < cfg.Chips; c++ {
-			f.ring[r][c] = make([]*hop, cfg.Banks)
-			for b := 0; b < cfg.Banks; b++ {
-				f.ring[r][c][b] = mk(fmt.Sprintf("ring[%d,%d,%d]", r, c, b), cfg.RingRate)
-			}
-			f.out[r][c] = mk(fmt.Sprintf("out[%d,%d]", r, c), cfg.ChipRate)
-			f.in[r][c] = mk(fmt.Sprintf("in[%d,%d]", r, c), cfg.ChipRate)
-		}
-	}
-	f.bus = mk("bus", cfg.BusRate)
-	return f
-}
-
-// coord splits a node id.
-func (f *fabric) coord(n int) (rank, chip, bank int) {
-	b := f.cfg.Banks
-	c := f.cfg.Chips
-	return n / (c * b), (n / b) % c, n % b
-}
-
-// path returns the hop sequence from src to dst following PIMnet routing:
-// clockwise ring within a chip, DQ ports and the crossbar between chips,
-// the bus between ranks. Remote data enters the destination bank through
-// the direct WRAM datapath (Fig. 6a), so no destination-ring hops.
-func (f *fabric) path(src, dst int) []*hop {
-	sr, sc, sb := f.coord(src)
-	dr, dc, db := f.coord(dst)
-	var p []*hop
-	switch {
-	case sr == dr && sc == dc:
-		b := f.cfg.Banks
-		for hopIdx := sb; hopIdx != db; hopIdx = (hopIdx + 1) % b {
-			p = append(p, f.ring[sr][sc][hopIdx])
-		}
-		if len(p) == 0 { // self message still crosses its own stop once
-			p = append(p, f.ring[sr][sc][sb])
-		}
-	case sr == dr:
-		p = append(p, f.out[sr][sc], f.in[dr][dc])
-	default:
-		p = append(p, f.out[sr][sc], f.bus, f.in[dr][dc])
-	}
-	return p
-}
-
-func (f *fabric) maxQueue() int {
-	m := 0
-	for _, h := range f.all {
-		if h.maxSeen > m {
-			m = h.maxSeen
-		}
-	}
-	return m
 }

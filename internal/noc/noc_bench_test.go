@@ -1,0 +1,45 @@
+package noc
+
+import (
+	"testing"
+
+	"pimnet/internal/sim"
+)
+
+// The NoC regression-gated benchmarks (make benchcmp matches BenchmarkNoc).
+// The collective benchmarks drive the full serve/forward/depart chain with
+// backpressure at the paper's single-channel scale; the traffic benchmark
+// exercises the fabric at full-machine scale (2560 DPUs) with a packet
+// volume set by rate x duration rather than population^2.
+
+func benchCollective(b *testing.B, run func(Config, Mode, []sim.Time, int64) (Result, error), mode Mode) {
+	b.Helper()
+	cfg := DefaultConfig(4, 8, 8)
+	done := SkewedFinishTimes(cfg.Nodes(), 100*sim.Microsecond, 20*sim.Microsecond, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(cfg, mode, done, 32<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNocAllToAll256(b *testing.B) {
+	benchCollective(b, SimulateAllToAll, CreditBased)
+}
+
+func BenchmarkNocAllReduce256(b *testing.B) {
+	benchCollective(b, SimulateAllReduce, CreditBased)
+}
+
+func BenchmarkNocTraffic2560(b *testing.B) {
+	cfg := DefaultConfig(4, 8, 80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateUniformRandom(cfg, 10e6, sim.Millisecond, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -43,32 +43,58 @@ func TestModeStrings(t *testing.T) {
 
 func TestFabricPaths(t *testing.T) {
 	f := buildFabric(DefaultConfig(2, 2, 4))
+	hops := func(src, dst int) []int32 {
+		off, n := f.path(src, dst)
+		return f.paths[off : off+n]
+	}
+	eq := func(got []int32, want ...int32) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
 	// Intra-chip: clockwise ring hops.
-	p := f.path(0, 2)
-	if len(p) != 2 || p[0] != f.ring[0][0][0] || p[1] != f.ring[0][0][1] {
-		t.Fatalf("intra-chip path wrong: %v", names(p))
+	if p := hops(0, 2); !eq(p, f.ringID(0, 0, 0), f.ringID(0, 0, 1)) {
+		t.Fatalf("intra-chip path wrong: %v", names(f, p))
 	}
 	// Wraparound.
-	p = f.path(3, 0)
-	if len(p) != 1 || p[0] != f.ring[0][0][3] {
-		t.Fatalf("wraparound path wrong: %v", names(p))
+	if p := hops(3, 0); !eq(p, f.ringID(0, 0, 3)) {
+		t.Fatalf("wraparound path wrong: %v", names(f, p))
 	}
 	// Inter-chip, same rank: out then in, no bus.
-	p = f.path(0, 5)
-	if len(p) != 2 || p[0] != f.out[0][0] || p[1] != f.in[0][1] {
-		t.Fatalf("inter-chip path wrong: %v", names(p))
+	if p := hops(0, 5); !eq(p, f.outID(0, 0), f.inID(0, 1)) {
+		t.Fatalf("inter-chip path wrong: %v", names(f, p))
 	}
 	// Inter-rank: out, bus, in.
-	p = f.path(0, 9)
-	if len(p) != 3 || p[1] != f.bus {
-		t.Fatalf("inter-rank path wrong: %v", names(p))
+	if p := hops(0, 9); !eq(p, f.outID(0, 0), f.busID, f.inID(1, 0)) {
+		t.Fatalf("inter-rank path wrong: %v", names(f, p))
 	}
 }
 
-func names(hops []*hop) []string {
+func TestHopNames(t *testing.T) {
+	f := buildFabric(DefaultConfig(2, 2, 4))
+	cases := map[int32]string{
+		f.ringID(1, 0, 3): "ring[1,0,3]",
+		f.outID(0, 1):     "out[0,1]",
+		f.inID(1, 1):      "in[1,1]",
+		f.busID:           "bus",
+	}
+	for h, want := range cases {
+		if got := f.hopName(h); got != want {
+			t.Errorf("hopName(%d) = %q, want %q", h, got, want)
+		}
+	}
+}
+
+func names(f *fabric, hops []int32) []string {
 	var out []string
 	for _, h := range hops {
-		out = append(out, h.name)
+		out = append(out, f.hopName(h))
 	}
 	return out
 }

@@ -1,0 +1,69 @@
+package noc
+
+import (
+	"fmt"
+
+	"pimnet/internal/sim"
+)
+
+// patternGoldenCases extends the golden corpus with the adversarial
+// patterns, in both of their forms:
+//
+//   - scripted (SimulatePattern) under both flow-control modes, with the
+//     corpus compute-finish skew — the credit-vs-PIM-controlled comparison
+//     on worst-case spatial traffic; and
+//   - open-loop (SimulateTraffic) at the corpus rate/duration — the
+//     latency/throughput observables.
+//
+// Together with goldenCases' collectives and uniform traffic this covers
+// every pattern x both modes x the 64/256/2560 populations, so any
+// behavioral drift in the flat core — one picosecond, one packet, one queue
+// slot — diffs against a committed file.
+func patternGoldenCases() []goldenCase {
+	var cases []goldenCase
+
+	adversarial := []TrafficPattern{Hotspot, Transpose, Tornado, BurstyTenants}
+	modes := []struct {
+		name string
+		mode Mode
+	}{
+		{"credit", CreditBased},
+		{"static", StaticScheduled},
+	}
+	// The scripted form is O(nodes x steps) messages: 4 steps pin 64/256,
+	// 2 steps keep the 2560 full-machine case affordable in the suite.
+	stepsFor := map[int]int{64: 4, 256: 4, 2560: 2}
+	for _, pat := range TrafficPatterns() {
+		for _, m := range modes {
+			for _, dpus := range []int{64, 256, 2560} {
+				pat, m, dpus := pat, m, dpus
+				cases = append(cases, goldenCase{
+					name: fmt.Sprintf("pattern_%s_%s_%d", pat, m.name, dpus),
+					run: func() (goldenResult, error) {
+						cfg := goldenShape(dpus)
+						res, err := SimulatePattern(cfg, m.mode, pat, goldenSkew(cfg),
+							8<<10, stepsFor[dpus], 42)
+						return fromResult(res), err
+					},
+				})
+			}
+		}
+	}
+
+	// Open-loop traffic: uniform is already pinned by goldenCases; these add
+	// the adversarial spatial distributions at the same rate and duration.
+	for _, pat := range adversarial {
+		for _, dpus := range []int{64, 256, 2560} {
+			pat, dpus := pat, dpus
+			cases = append(cases, goldenCase{
+				name: fmt.Sprintf("traffic_%s_%d", pat, dpus),
+				run: func() (goldenResult, error) {
+					res, err := SimulateTraffic(goldenShape(dpus), TrafficSpec{
+						Pattern: pat, PerNodeBps: 10e6, Duration: sim.Millisecond, Seed: 7})
+					return fromTraffic(res), err
+				},
+			})
+		}
+	}
+	return cases
+}

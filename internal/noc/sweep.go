@@ -1,0 +1,80 @@
+package noc
+
+import (
+	"fmt"
+
+	"pimnet/internal/metrics"
+	"pimnet/internal/sim"
+	"pimnet/internal/sweep"
+)
+
+// Parallel adversarial pattern sweeps. A PatternPoint is a pure function of
+// its fields — every point builds its own engine, fabric, and network — so
+// internal/sweep's determinism contract applies verbatim: SweepPatterns
+// returns exactly the slice a serial loop over the points would produce,
+// regardless of worker count or completion order. The serial-vs-parallel
+// byte-identity of the results is locked by TestSweepPatternsDeterministic
+// at worker counts 1/4/16 under the race detector.
+
+// PatternPoint is one cell of an adversarial sweep grid: a scripted traffic
+// pattern run under one flow-control mode on one network shape. Seed feeds
+// both the Uniform pattern's destination stream and the skewed compute-
+// finish profile (the Fig. 13 setup: base 100µs, spread 20µs).
+type PatternPoint struct {
+	Config       Config
+	Mode         Mode
+	Pattern      TrafficPattern
+	BytesPerNode int64
+	Steps        int
+	Seed         int64
+}
+
+// run executes the point. Exposed to the serving tier via RunPatternPoint.
+func (p PatternPoint) run() (PatternResult, error) {
+	if err := p.Config.validate(); err != nil {
+		return PatternResult{}, err
+	}
+	done := SkewedFinishTimes(p.Config.Nodes(), 100*sim.Microsecond, 20*sim.Microsecond, p.Seed)
+	res, err := SimulatePattern(p.Config, p.Mode, p.Pattern, done, p.BytesPerNode, p.Steps, p.Seed)
+	if err != nil {
+		return PatternResult{}, err
+	}
+	return PatternResult{Pattern: p.Pattern, Mode: p.Mode, Nodes: p.Config.Nodes(), Result: res}, nil
+}
+
+// RunPatternPoint evaluates one sweep cell serially.
+func RunPatternPoint(p PatternPoint) (PatternResult, error) { return p.run() }
+
+// PatternResult pairs a sweep cell with its outcome.
+type PatternResult struct {
+	Pattern TrafficPattern
+	Mode    Mode
+	Nodes   int
+	Result
+}
+
+// AdversarialGrid enumerates every traffic pattern under both flow-control
+// modes on one network shape — the standard adversarial comparison grid.
+func AdversarialGrid(cfg Config, bytesPerNode int64, steps int, seed int64) []PatternPoint {
+	pts := make([]PatternPoint, 0, 2*len(TrafficPatterns()))
+	for _, pat := range TrafficPatterns() {
+		for _, m := range []Mode{CreditBased, StaticScheduled} {
+			pts = append(pts, PatternPoint{Config: cfg, Mode: m, Pattern: pat,
+				BytesPerNode: bytesPerNode, Steps: steps, Seed: seed})
+		}
+	}
+	return pts
+}
+
+// SweepPatterns evaluates the points on internal/sweep's bounded worker
+// pool and returns results in point order. Failures follow the sweep
+// contract: every point runs, and the reported error is the lowest-indexed
+// failing point's.
+func SweepPatterns(points []PatternPoint, opts ...sweep.Option) ([]PatternResult, metrics.SweepStats, error) {
+	if len(points) == 0 {
+		return nil, metrics.SweepStats{}, fmt.Errorf("noc: empty pattern sweep")
+	}
+	return sweep.Run(points, func(_ *sweep.Context, p PatternPoint) (PatternResult, error) {
+		return p.run()
+	}, opts...)
+}

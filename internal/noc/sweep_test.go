@@ -1,0 +1,76 @@
+package noc
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pimnet/internal/sweep"
+)
+
+// TestSweepPatternsDeterministic is the sweep acceptance lock: the full
+// adversarial grid (every pattern x both modes) evaluated serially must be
+// byte-identical — through JSON, the serving tier's wire format — to the
+// same grid evaluated on 4- and 16-worker pools. `make check` runs this
+// under -race, so a data race between points would also surface here.
+func TestSweepPatternsDeterministic(t *testing.T) {
+	points := AdversarialGrid(DefaultConfig(2, 4, 8), 8<<10, 3, 42)
+
+	marshal := func(workers int) []byte {
+		t.Helper()
+		res, _, err := SweepPatterns(points, sweep.WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	serial := marshal(1)
+	for _, workers := range []int{4, 16} {
+		if got := marshal(workers); !bytes.Equal(got, serial) {
+			t.Errorf("workers=%d sweep diverged from serial:\nserial:  %s\nparallel: %s",
+				workers, serial, got)
+		}
+	}
+}
+
+// TestSweepPatternsErrors pins the failure contract: an invalid point fails
+// the sweep with the lowest-indexed error while valid points still produce
+// results, and an empty grid is rejected outright.
+func TestSweepPatternsErrors(t *testing.T) {
+	if _, _, err := SweepPatterns(nil); err == nil {
+		t.Fatal("empty sweep did not error")
+	}
+	points := AdversarialGrid(DefaultConfig(2, 4, 8), 8<<10, 2, 1)
+	points[1].Steps = 0 // invalid
+	res, _, err := SweepPatterns(points, sweep.WithWorkers(4))
+	if err == nil {
+		t.Fatal("invalid point did not error")
+	}
+	if res[0].PacketsDelivered == 0 {
+		t.Error("valid point 0 produced no result despite point 1 failing")
+	}
+}
+
+// TestAdversarialGridShape checks the grid enumerates every pattern under
+// both modes, in sweep order.
+func TestAdversarialGridShape(t *testing.T) {
+	cfg := DefaultConfig(2, 4, 8)
+	pts := AdversarialGrid(cfg, 4096, 2, 7)
+	if want := 2 * len(TrafficPatterns()); len(pts) != want {
+		t.Fatalf("grid has %d points, want %d", len(pts), want)
+	}
+	i := 0
+	for _, pat := range TrafficPatterns() {
+		for _, m := range []Mode{CreditBased, StaticScheduled} {
+			if pts[i].Pattern != pat || pts[i].Mode != m {
+				t.Errorf("point %d = (%v,%v), want (%v,%v)", i, pts[i].Pattern, pts[i].Mode, pat, m)
+			}
+			i++
+		}
+	}
+}

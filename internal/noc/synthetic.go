@@ -3,19 +3,20 @@ package noc
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"pimnet/internal/sim"
 )
 
 // Synthetic open-loop traffic evaluation — the standard NoC-simulator
 // methodology (offered load vs latency, as in Booksim): every node injects
-// fixed-size packets to uniform-random destinations at a configured rate,
-// and the network's accepted throughput and packet latency are measured.
-// PIMnet itself never runs random traffic (its collectives are compiled),
-// but this characterizes the fabric the credit-based alternative would
-// have to provision: where the rings, the crossbar ports, and the bus
-// saturate.
+// fixed-size packets at a configured rate toward pattern-selected
+// destinations, and the network's accepted throughput and packet latency
+// are measured. PIMnet itself never runs random traffic (its collectives
+// are compiled), but this characterizes the fabric the credit-based
+// alternative would have to provision: where the rings, the crossbar
+// ports, and the bus saturate — and, with the adversarial patterns, how
+// badly a worst-case spatial distribution degrades it.
 
 // TrafficResult extends Result with latency statistics.
 type TrafficResult struct {
@@ -28,15 +29,94 @@ type TrafficResult struct {
 	MaxLatency  sim.Time
 }
 
-// SimulateUniformRandom drives the network with uniform-random traffic at
-// the given per-node offered rate (bytes/second) for the given simulated
-// duration and returns throughput/latency statistics.
-func SimulateUniformRandom(cfg Config, perNodeBps float64, duration sim.Time, seed int64) (TrafficResult, error) {
+// TrafficSpec parameterizes one open-loop traffic run.
+type TrafficSpec struct {
+	Pattern    TrafficPattern
+	PerNodeBps float64  // offered injection rate per node, bytes/second
+	Duration   sim.Time // injection window (the network then drains)
+	Seed       int64
+}
+
+// trafDriver generates open-loop traffic on the packet network.
+type trafDriver struct {
+	pattern  TrafficPattern
+	rng      *rand.Rand
+	n        int
+	duration sim.Time
+	interval sim.Time
+	bytes    int64
+
+	// pattern parameters, precomputed by newTrafDriver
+	hot         int // hotspot target
+	tornadoOff  int
+	transposeA  int // n = transposeA x transposeB, a <= sqrt(n)
+	transposeB  int
+	burstWindow sim.Time
+
+	latencies []sim.Time
+	injected  int64
+}
+
+func newTrafDriver(cfg Config, spec TrafficSpec, interval sim.Time) *trafDriver {
+	n := cfg.Nodes()
+	d := &trafDriver{
+		pattern:  spec.Pattern,
+		rng:      rand.New(rand.NewSource(spec.Seed)),
+		n:        n,
+		duration: spec.Duration,
+		interval: interval,
+		bytes:    cfg.PacketBytes,
+
+		hot:         n / 2,
+		tornadoOff:  (n+1)/2 - 1,
+		burstWindow: 64 * interval,
+	}
+	d.transposeA, d.transposeB = transposeFactors(n)
+	// Size the latency log for the run up front: at most one packet per node
+	// per interval over the injection window.
+	d.latencies = make([]sim.Time, 0, int64(n)*(int64(spec.Duration)/int64(interval)+1))
+	return d
+}
+
+// tick fires once per injection interval per source node.
+func (d *trafDriver) tick(nw *network, src int32, now sim.Time) {
+	if now >= d.duration {
+		return
+	}
+	if d.pattern == BurstyTenants && !d.burstOn(int(src), now) {
+		// Off-window tenants stay silent; the generator keeps ticking so the
+		// tenant resumes at full rate when its burst window opens.
+		nw.schedule(now+d.interval, evTick, src, 0)
+		return
+	}
+	dst := d.dest(int(src))
+	born := now
+	d.injected++
+	p := nw.allocPacket()
+	off, plen := nw.f.path(int(src), dst)
+	pk := &nw.pkts[p]
+	pk.bytes, pk.born, pk.pathOff, pk.pathLen = d.bytes, born, off, plen
+	nw.inject(p, born)
+	nw.schedule(now+d.interval, evTick, src, 0)
+}
+
+// delivered records one packet's injection-to-delivery latency.
+func (d *trafDriver) delivered(born, t sim.Time) {
+	d.latencies = append(d.latencies, t-born)
+}
+
+// SimulateTraffic drives the network with pattern-shaped open-loop traffic
+// at the given per-node offered rate for the given simulated duration and
+// returns throughput/latency statistics.
+func SimulateTraffic(cfg Config, spec TrafficSpec) (TrafficResult, error) {
 	if err := cfg.validate(); err != nil {
 		return TrafficResult{}, err
 	}
-	if perNodeBps <= 0 || duration <= 0 {
-		return TrafficResult{}, fmt.Errorf("noc: offered rate %v, duration %v", perNodeBps, duration)
+	if err := spec.Pattern.validate(); err != nil {
+		return TrafficResult{}, err
+	}
+	if spec.PerNodeBps <= 0 || spec.Duration <= 0 {
+		return TrafficResult{}, fmt.Errorf("noc: offered rate %v, duration %v", spec.PerNodeBps, spec.Duration)
 	}
 	n := cfg.Nodes()
 	if n < 2 {
@@ -44,64 +124,57 @@ func SimulateUniformRandom(cfg Config, perNodeBps float64, duration sim.Time, se
 	}
 	eng := sim.NewEngine()
 	f := buildFabric(cfg)
-	nw := &network{eng: eng}
-	rng := rand.New(rand.NewSource(seed))
-	interval := sim.TransferTime(cfg.PacketBytes, perNodeBps)
+	nw := newNetwork(eng, f, cfg)
+	nw.deliverHook = deliverObserver
+	interval := sim.TransferTime(cfg.PacketBytes, spec.PerNodeBps)
 	if interval <= 0 {
 		interval = 1
 	}
-
-	var latencies []sim.Time
-	var injected int64
+	d := newTrafDriver(cfg, spec, interval)
+	nw.traf = d
 	for src := 0; src < n; src++ {
-		src := src
 		// Deterministic per-node jittered start spreads the phases.
-		start := sim.Time(rng.Int63n(int64(interval) + 1))
-		var tick func()
-		tick = func() {
-			if eng.Now() >= duration {
-				return
-			}
-			dst := rng.Intn(n - 1)
-			if dst >= src {
-				dst++
-			}
-			born := eng.Now()
-			injected++
-			pkt := &packet{bytes: cfg.PacketBytes, path: f.path(src, dst)}
-			pkt.onArrive = func(t sim.Time) {
-				latencies = append(latencies, t-born)
-			}
-			nw.inject(pkt, born)
-			eng.After(interval, tick)
-		}
-		eng.At(start, tick)
+		start := sim.Time(d.rng.Int63n(int64(interval) + 1))
+		nw.schedule(start, evTick, int32(src), 0)
 	}
 	end := eng.Run()
-	res := TrafficResult{Result: nw.res, OfferedBps: perNodeBps, Injected: injected}
+	if nw.lastArrive > end {
+		// Inline-completed arrivals land one wire latency after the engine's
+		// final event; the run ends when the last packet lands.
+		end = nw.lastArrive
+	}
+	res := TrafficResult{Result: nw.res, OfferedBps: spec.PerNodeBps, Injected: d.injected}
 	res.Finish = end
-	res.MaxQueue = f.maxQueue()
-	if len(latencies) > 0 {
+	res.MaxQueue = nw.maxQueue()
+	if len(d.latencies) > 0 {
 		var sum sim.Time
-		for _, l := range latencies {
+		for _, l := range d.latencies {
 			sum += l
 			if l > res.MaxLatency {
 				res.MaxLatency = l
 			}
 		}
-		res.MeanLatency = sum / sim.Time(len(latencies))
-		sorted := append([]sim.Time(nil), latencies...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		res.MeanLatency = sum / sim.Time(len(d.latencies))
+		sorted := append([]sim.Time(nil), d.latencies...)
+		slices.Sort(sorted)
 		res.P99Latency = sorted[len(sorted)*99/100]
 		// Goodput: delivered bytes per node over the span traffic flowed.
 		span := end
 		if span <= 0 {
-			span = duration
+			span = spec.Duration
 		}
 		res.AcceptedBps = float64(res.PacketsDelivered) * float64(cfg.PacketBytes) /
 			span.Seconds() / float64(n)
 	}
 	return res, nil
+}
+
+// SimulateUniformRandom drives the network with uniform-random traffic at
+// the given per-node offered rate (bytes/second) for the given simulated
+// duration and returns throughput/latency statistics.
+func SimulateUniformRandom(cfg Config, perNodeBps float64, duration sim.Time, seed int64) (TrafficResult, error) {
+	return SimulateTraffic(cfg, TrafficSpec{Pattern: Uniform, PerNodeBps: perNodeBps,
+		Duration: duration, Seed: seed})
 }
 
 // LoadSweepPoint is one sample of a latency-throughput curve.

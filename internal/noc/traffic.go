@@ -84,79 +84,105 @@ func SimulateAllToAll(cfg Config, mode Mode, computeDone []sim.Time, bytesPerNod
 	return simulate(cfg, mode, computeDone, allToAllScripts(cfg.Nodes(), bytesPerNode), false)
 }
 
-// simulate drives the scripts through the queueing network.
+// collDriver gates scripted message injection.
 //
 // Credit mode: node i injects its step-k message once its own compute is
 // done, its step k-1 message has drained (send buffer reuse), and — when
 // recvGate — its step k-1 incoming data has arrived (ring collectives
 // forward received chunks).
 //
-// Static mode: a global barrier separates steps: every node's step-k
-// message is released together after all step k-1 messages delivered plus
-// the READY/START propagation latency.
+// Static mode: the compile-time offsets make every node's step k start
+// exactly when its inputs are available, so the network pipelines
+// identically to the dependency-gated flow — what differs is the launch: a
+// single global START after the slowest DPU reports READY (plus the sync
+// tree propagation), versus credit mode where every node injects as soon as
+// its own compute retires.
+type collDriver struct {
+	scripts     []nodeScript
+	release     []sim.Time
+	sent        []int32 // messages fully drained per node
+	recvd       []int32 // messages received per node
+	next        []int32 // next step index to inject
+	steps       int32
+	recvGate    bool
+	packetBytes int64
+	finish      sim.Time
+}
+
+// tryInject schedules node i's next message once its gates open.
+func (c *collDriver) tryInject(nw *network, i int32) {
+	k := c.next[i]
+	if k >= c.steps || c.sent[i] < k || (c.recvGate && c.recvd[i] < k) {
+		return
+	}
+	c.next[i]++
+	at := c.release[i]
+	if now := nw.eng.Now(); now > at {
+		at = now
+	}
+	nw.schedule(at, evSend, i, k)
+}
+
+// send segments node i's step-k message into packets and injects them. The
+// message group tracks the undelivered count; msgDone fires when the last
+// packet lands.
+func (c *collDriver) send(nw *network, i, k int32, t sim.Time) {
+	m := c.scripts[i].msgs[k]
+	off, plen := nw.f.path(m.src, m.dst)
+	numPkts := int32(1) // a zero-byte message still sends one empty packet
+	if m.bytes > 0 {
+		numPkts = int32((m.bytes + c.packetBytes - 1) / c.packetBytes)
+	}
+	g := nw.allocMsg(i, k, int32(m.dst), numPkts)
+	remaining := m.bytes
+	for n := int32(0); n < numPkts; n++ {
+		sz := c.packetBytes
+		if sz > remaining {
+			sz = remaining
+		}
+		remaining -= sz
+		p := nw.allocPacket()
+		pk := &nw.pkts[p]
+		pk.bytes, pk.born, pk.pathOff, pk.pathLen, pk.msg = sz, t, off, plen, g
+		nw.inject(p, t)
+	}
+}
+
+// msgDone advances the gates when node's step-k message has fully landed.
+func (c *collDriver) msgDone(nw *network, node, step, dst int32, t sim.Time) {
+	if t > c.finish {
+		c.finish = t
+	}
+	c.sent[node] = step + 1
+	c.recvd[dst]++
+	c.tryInject(nw, node)
+	c.tryInject(nw, dst)
+}
+
+// simulate drives the scripts through the queueing network.
 func simulate(cfg Config, mode Mode, computeDone []sim.Time, scripts []nodeScript, recvGate bool) (Result, error) {
+	_, res, err := runScripts(cfg, mode, computeDone, scripts, recvGate)
+	return res, err
+}
+
+// runScripts is simulate's core, additionally returning the network so
+// in-package tests can assert on arena high-water marks (the bounded-peak-
+// heap regression lock) and attach delivery instrumentation.
+func runScripts(cfg Config, mode Mode, computeDone []sim.Time, scripts []nodeScript, recvGate bool) (*network, Result, error) {
 	if err := cfg.validate(); err != nil {
-		return Result{}, err
+		return nil, Result{}, err
 	}
 	n := cfg.Nodes()
 	if len(computeDone) != n {
-		return Result{}, fmt.Errorf("noc: %d finish times for %d nodes", len(computeDone), n)
+		return nil, Result{}, fmt.Errorf("noc: %d finish times for %d nodes", len(computeDone), n)
 	}
 	if n <= 1 || len(scripts[0].msgs) == 0 {
-		return Result{}, nil
-	}
-	eng := sim.NewEngine()
-	f := buildFabric(cfg)
-	nw := &network{eng: eng}
-	steps := len(scripts[0].msgs)
-
-	var finish sim.Time
-	delivered := func(t sim.Time) {
-		if t > finish {
-			finish = t
-		}
+		return nil, Result{}, nil
 	}
 
-	// sendMsg segments a message into packets and calls done(t) when the
-	// last packet lands.
-	sendMsg := func(m message, at sim.Time, done func(sim.Time)) {
-		remaining := m.bytes
-		path := f.path(m.src, m.dst)
-		var pkts []*packet
-		for remaining > 0 {
-			sz := cfg.PacketBytes
-			if sz > remaining {
-				sz = remaining
-			}
-			remaining -= sz
-			pkts = append(pkts, &packet{bytes: sz, path: append([]*hop(nil), path...)})
-		}
-		if len(pkts) == 0 {
-			pkts = append(pkts, &packet{bytes: 0, path: append([]*hop(nil), path...)})
-		}
-		outstanding := len(pkts)
-		for _, p := range pkts {
-			p.onArrive = func(t sim.Time) {
-				outstanding--
-				if outstanding == 0 {
-					done(t)
-				}
-			}
-		}
-		eng.At(at, func() {
-			for _, p := range pkts {
-				nw.inject(p, eng.Now())
-			}
-		})
-	}
-
-	// Injection gates. Static mode is not barriered step by step: the
-	// compile-time offsets make every node's step k start exactly when its
-	// inputs are available, so the network pipelines identically to the
-	// dependency-gated flow — what differs is the launch: a single global
-	// START after the slowest DPU reports READY (plus the sync tree
-	// propagation), versus credit mode where every node injects as soon as
-	// its own compute retires.
+	// Injection gates. Static mode is not barriered step by step: a single
+	// global START after the slowest DPU reports READY (plus the sync tree
+	// propagation) replaces credit mode's inject-on-own-retire.
 	release := computeDone
 	if mode == StaticScheduled {
 		var start sim.Time
@@ -171,40 +197,36 @@ func simulate(cfg Config, mode Mode, computeDone []sim.Time, scripts []nodeScrip
 			release[i] = start
 		}
 	} else if mode != CreditBased {
-		return Result{}, fmt.Errorf("noc: unknown mode %d", int(mode))
+		return nil, Result{}, fmt.Errorf("noc: unknown mode %d", int(mode))
 	}
 
-	sent := make([]int, n)  // messages fully drained per node
-	recvd := make([]int, n) // messages received per node
-	next := make([]int, n)  // next step index to inject
-	var tryInject func(i int)
-	tryInject = func(i int) {
-		k := next[i]
-		if k >= steps || sent[i] < k || (recvGate && recvd[i] < k) {
-			return
-		}
-		next[i]++
-		m := scripts[i].msgs[k]
-		at := release[i]
-		if eng.Now() > at {
-			at = eng.Now()
-		}
-		sendMsg(m, at, func(t sim.Time) {
-			delivered(t)
-			sent[i] = k + 1
-			recvd[m.dst]++
-			tryInject(i)
-			tryInject(m.dst)
-		})
+	eng := sim.NewEngine()
+	f := buildFabric(cfg)
+	nw := newNetwork(eng, f, cfg)
+	nw.deliverHook = deliverObserver
+	nw.coll = &collDriver{
+		scripts: scripts,
+		release: release,
+		sent:    make([]int32, n),
+		recvd:   make([]int32, n),
+		next:    make([]int32, n),
+		steps:   int32(len(scripts[0].msgs)),
+		recvGate: recvGate,
+		packetBytes: cfg.PacketBytes,
 	}
 	for i := 0; i < n; i++ {
-		i := i
-		eng.At(release[i], func() { tryInject(i) })
+		nw.schedule(release[i], evTry, int32(i), 0)
 	}
 
 	eng.Run()
 	res := nw.res
-	res.Finish = finish
-	res.MaxQueue = f.maxQueue()
-	return res, nil
+	res.Finish = nw.coll.finish
+	res.MaxQueue = nw.maxQueue()
+	return nw, res, nil
 }
+
+// deliverObserver, when non-nil, is attached as the deliverHook of every
+// network the package builds — the seam FuzzNocDelivery uses to watch every
+// (uid, born, arrival) triple. Set only by in-package tests, before any
+// simulation runs.
+var deliverObserver func(uid int64, born, t sim.Time)

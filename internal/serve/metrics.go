@@ -51,6 +51,7 @@ type serverMetrics struct {
 
 	simulate atomic.Uint64 // /v1/simulate requests
 	sweep    atomic.Uint64 // /v1/sweep requests
+	nocSweep atomic.Uint64 // /v1/noc/sweep requests (packet-level pattern grid)
 	chunk    atomic.Uint64 // /v1/chunk requests (cluster-mode fan-out)
 	healthz  atomic.Uint64
 	metrics  atomic.Uint64
@@ -145,11 +146,12 @@ func (m *serverMetrics) snapshot(gateWaiting int64, cache *core.PlanCache, clust
 	return MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests: map[string]uint64{
-			"simulate": m.simulate.Load(),
-			"sweep":    m.sweep.Load(),
-			"chunk":    m.chunk.Load(),
-			"healthz":  m.healthz.Load(),
-			"metrics":  m.metrics.Load(),
+			"simulate":  m.simulate.Load(),
+			"sweep":     m.sweep.Load(),
+			"noc_sweep": m.nocSweep.Load(),
+			"chunk":     m.chunk.Load(),
+			"healthz":   m.healthz.Load(),
+			"metrics":   m.metrics.Load(),
 		},
 		Status4xx: m.status4xx.Load(),
 		Status5xx: m.status5xx.Load(),

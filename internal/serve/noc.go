@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"pimnet/internal/noc"
+	"pimnet/internal/report"
+	"pimnet/internal/sim"
+	"pimnet/internal/sweep"
+)
+
+// POST /v1/noc/sweep: the packet-level adversarial pattern sweep as a
+// service. The grid is patterns x modes on one network shape; every point is
+// a pure function of the request (internal/noc's sweep determinism
+// contract), so responses are byte-identical regardless of worker count.
+// Requests pass the same admission gate as /v1/sweep — one slot per sweep,
+// the inner pool bounded separately by MaxSweepWorkers.
+
+// NocSweepRequest is the wire form of POST /v1/noc/sweep. Absent fields
+// take the documented defaults; unknown fields are rejected.
+type NocSweepRequest struct {
+	// Ranks/Chips/Banks size the simulated channel (default 4x8x80, the
+	// full-machine 2560-DPU shape).
+	Ranks int `json:"ranks,omitempty"`
+	Chips int `json:"chips,omitempty"`
+	Banks int `json:"banks,omitempty"`
+	// Patterns selects the traffic patterns by name (uniform, hotspot,
+	// transpose, tornado, bursty); empty runs all of them.
+	Patterns []string `json:"patterns,omitempty"`
+	// Modes selects the flow-control policies (credit, static); empty runs
+	// both.
+	Modes []string `json:"modes,omitempty"`
+	// BytesPerNode is each node's per-step payload (default 32768).
+	BytesPerNode int64 `json:"bytes_per_node,omitempty"`
+	// Steps is the number of scripted pattern rounds (default 2).
+	Steps int `json:"steps,omitempty"`
+	// Seed feeds the uniform destination stream and the compute-finish skew
+	// (default 42).
+	Seed int64 `json:"seed,omitempty"`
+	// Workers bounds this request's worker pool (<=0 or beyond the server's
+	// cap selects the server default). Results are identical regardless.
+	Workers int `json:"workers,omitempty"`
+}
+
+// NocSweepPoint is one grid cell's deterministic result.
+type NocSweepPoint struct {
+	Pattern  string   `json:"pattern"`
+	Mode     string   `json:"mode"`
+	FinishPs sim.Time `json:"finish_ps"`
+	Finish   string   `json:"finish"`
+	Packets  int64    `json:"packets"`
+	MaxQueue int      `json:"max_queue"`
+}
+
+// NocSweepResponse is the wire form of a noc-sweep execution. Points are
+// deterministic; Stats is wall-clock measurement metadata.
+type NocSweepResponse struct {
+	Request NocSweepRequest       `json:"request"`
+	Nodes   int                   `json:"nodes"`
+	Points  []NocSweepPoint       `json:"points"`
+	Stats   report.SweepStatsJSON `json:"stats"`
+}
+
+// DecodeNocSweepRequest decodes and normalizes one noc-sweep payload into
+// its grid. The fuzz-safety contract of the other decoders applies: every
+// malformed shape is an error, never a panic, and the expanded grid is
+// bounded by maxPoints.
+func DecodeNocSweepRequest(r io.Reader, maxPoints int) (NocSweepRequest, []noc.PatternPoint, error) {
+	var req NocSweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return req, nil, err
+	}
+	if req.Ranks == 0 && req.Chips == 0 && req.Banks == 0 {
+		req.Ranks, req.Chips, req.Banks = 4, 8, 80
+	}
+	if req.Ranks < 1 || req.Chips < 1 || req.Banks < 1 {
+		return req, nil, fmt.Errorf("topology %dx%dx%d", req.Ranks, req.Chips, req.Banks)
+	}
+	cfg := noc.DefaultConfig(req.Ranks, req.Chips, req.Banks)
+	if cfg.Nodes() < 2 {
+		return req, nil, fmt.Errorf("topology %dx%dx%d has fewer than 2 nodes", req.Ranks, req.Chips, req.Banks)
+	}
+	if req.BytesPerNode == 0 {
+		req.BytesPerNode = 32 << 10
+	}
+	if req.BytesPerNode < 1 {
+		return req, nil, fmt.Errorf("bytes_per_node %d", req.BytesPerNode)
+	}
+	if req.Steps == 0 {
+		req.Steps = 2
+	}
+	if req.Steps < 1 {
+		return req, nil, fmt.Errorf("steps %d", req.Steps)
+	}
+	if req.Seed == 0 {
+		req.Seed = 42
+	}
+
+	patterns := make([]noc.TrafficPattern, 0, len(req.Patterns))
+	if len(req.Patterns) == 0 {
+		patterns = noc.TrafficPatterns()
+		req.Patterns = make([]string, len(patterns))
+		for i, p := range patterns {
+			req.Patterns[i] = p.String()
+		}
+	} else {
+		for _, name := range req.Patterns {
+			p, err := noc.ParseTrafficPattern(name)
+			if err != nil {
+				return req, nil, err
+			}
+			patterns = append(patterns, p)
+		}
+	}
+	modes := make([]noc.Mode, 0, len(req.Modes))
+	if len(req.Modes) == 0 {
+		modes = []noc.Mode{noc.CreditBased, noc.StaticScheduled}
+		req.Modes = []string{"credit", "static"}
+	} else {
+		for _, name := range req.Modes {
+			m, err := noc.ParseMode(name)
+			if err != nil {
+				return req, nil, err
+			}
+			modes = append(modes, m)
+		}
+	}
+
+	if grid := len(patterns) * len(modes); grid > maxPoints {
+		return req, nil, fmt.Errorf("grid of %d points exceeds limit %d", grid, maxPoints)
+	}
+	points := make([]noc.PatternPoint, 0, len(patterns)*len(modes))
+	for _, p := range patterns {
+		for _, m := range modes {
+			points = append(points, noc.PatternPoint{Config: cfg, Mode: m, Pattern: p,
+				BytesPerNode: req.BytesPerNode, Steps: req.Steps, Seed: req.Seed})
+		}
+	}
+	return req, points, nil
+}
+
+// handleNocSweep is the adversarial-pattern batch endpoint:
+// decode -> admit -> sweep -> respond.
+func (s *Server) handleNocSweep(w http.ResponseWriter, r *http.Request) {
+	s.met.nocSweep.Add(1)
+	if !s.begin() {
+		s.met.rejected.Add(1)
+		s.write(w, overloadResponse("server is draining"))
+		return
+	}
+	defer s.inflight.Done()
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	req, points, err := DecodeNocSweepRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxSweepPoints)
+	if err != nil {
+		s.write(w, errorResponse(http.StatusBadRequest, err))
+		return
+	}
+	s.write(w, s.executeGated(ctx, func(ctx context.Context) response {
+		return s.executeNocSweep(ctx, req, points)
+	}))
+}
+
+// executeNocSweep fans the grid onto the bounded pattern sweep. NoC points
+// never touch the plan cache (there is nothing to compile), but their
+// execution stats merge into the same process aggregate as /v1/sweep runs.
+func (s *Server) executeNocSweep(ctx context.Context, req NocSweepRequest, points []noc.PatternPoint) response {
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.MaxSweepWorkers {
+		workers = s.cfg.MaxSweepWorkers
+	}
+	results, stats, err := noc.SweepPatterns(points,
+		sweep.WithWorkers(workers), sweep.WithContext(ctx))
+	if err != nil {
+		if ctx.Err() != nil {
+			return deadlineResponse(ctx.Err())
+		}
+		return errorResponse(http.StatusUnprocessableEntity, err)
+	}
+	s.met.mergeSweep(stats)
+	resp := NocSweepResponse{Request: req, Nodes: results[0].Nodes,
+		Points: make([]NocSweepPoint, len(results)), Stats: report.NewSweepStatsJSON(stats)}
+	for i, res := range results {
+		resp.Points[i] = NocSweepPoint{
+			Pattern:  res.Pattern.String(),
+			Mode:     res.Mode.String(),
+			FinishPs: res.Finish,
+			Finish:   res.Finish.String(),
+			Packets:  res.PacketsDelivered,
+			MaxQueue: res.MaxQueue,
+		}
+	}
+	return okResponse(resp)
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestNocSweepEndpoint drives POST /v1/noc/sweep end to end on a small
+// shape and checks the response carries the full normalized grid.
+func TestNocSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, _, body := post(t, ts.URL+"/v1/noc/sweep",
+		`{"ranks":2,"chips":4,"banks":8,"bytes_per_node":8192,"steps":2}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp NocSweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Nodes != 64 {
+		t.Errorf("nodes = %d, want 64", resp.Nodes)
+	}
+	if want := 5 * 2; len(resp.Points) != want {
+		t.Fatalf("points = %d, want %d (all patterns x both modes)", len(resp.Points), want)
+	}
+	// Defaults echo back normalized.
+	if len(resp.Request.Patterns) != 5 || len(resp.Request.Modes) != 2 || resp.Request.Seed != 42 {
+		t.Errorf("request not normalized: %+v", resp.Request)
+	}
+	for _, p := range resp.Points {
+		if p.FinishPs <= 0 || p.Packets <= 0 {
+			t.Errorf("point %s/%s has empty result: %+v", p.Pattern, p.Mode, p)
+		}
+	}
+}
+
+// TestNocSweepDeterministicBody locks the serving-tier determinism
+// contract: identical requests at different worker counts produce
+// byte-identical 200 bodies.
+func TestNocSweepDeterministicBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// The echoed request carries the differing workers field and Stats is
+	// wall-clock metadata, so the deterministic section is the points array.
+	points := func(body []byte) string {
+		var resp struct {
+			Points json.RawMessage `json:"points"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return string(resp.Points)
+	}
+	var serial string
+	for i, workers := range []string{"1", "4", "16"} {
+		status, _, body := post(t, ts.URL+"/v1/noc/sweep",
+			`{"ranks":2,"chips":4,"banks":8,"patterns":["hotspot","tornado"],"steps":2,"workers":`+workers+`}`)
+		if status != http.StatusOK {
+			t.Fatalf("workers=%s: status %d: %s", workers, status, body)
+		}
+		if got := points(body); i == 0 {
+			serial = got
+		} else if got != serial {
+			t.Errorf("workers=%s points diverged from serial:\nserial: %s\ngot:    %s",
+				workers, serial, got)
+		}
+	}
+}
+
+// TestNocSweepRejects pins the 400 class: unknown fields, bad patterns, bad
+// modes, bad topology, and oversized grids all fail loudly.
+func TestNocSweepRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepPoints: 4})
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"unknown field", `{"rnaks":2}`},
+		{"bad pattern", `{"patterns":["hotspots"]}`},
+		{"bad mode", `{"modes":["tcp"]}`},
+		{"bad topology", `{"ranks":-1,"chips":4,"banks":8}`},
+		{"single node", `{"ranks":1,"chips":1,"banks":1}`},
+		{"bad steps", `{"steps":-3}`},
+		{"bad bytes", `{"bytes_per_node":-1}`},
+		{"grid too large", `{"ranks":2,"chips":4,"banks":8}`}, // 10 > MaxSweepPoints 4
+		{"trailing data", `{"ranks":2,"chips":4,"banks":8}{}`},
+	} {
+		status, _, body := post(t, ts.URL+"/v1/noc/sweep", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, status, body)
+		}
+	}
+}
+
+// TestNocSweepMetrics checks the endpoint shows up in GET /metrics.
+func TestNocSweepMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/noc/sweep", `{"ranks":2,"chips":2,"banks":4,"patterns":["tornado"],"steps":1}`)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Requests["noc_sweep"] != 1 {
+		t.Errorf("noc_sweep counter = %d, want 1", snap.Requests["noc_sweep"])
+	}
+}

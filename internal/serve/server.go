@@ -157,6 +157,7 @@ func New(cfg Config) *Server {
 	s.met.start = time.Now()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/noc/sweep", s.handleNocSweep)
 	s.mux.HandleFunc("POST /v1/chunk", s.handleChunk)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -41,10 +41,10 @@ func TestEventQueueDifferential(t *testing.T) {
 				at := Time(rng.Intn(64))
 				seq++
 				e := event{at: at, seq: seq}
-				q.push(e)
+				q.push(e, -1)
 				heap.Push(&ref, e)
 			} else {
-				got := q.pop()
+				got := q.pop(-1)
 				want := heap.Pop(&ref).(event)
 				if got.at != want.at || got.seq != want.seq {
 					t.Logf("seed %d: pop mismatch got (%v,%d) want (%v,%d)",
@@ -54,7 +54,7 @@ func TestEventQueueDifferential(t *testing.T) {
 			}
 		}
 		for ref.Len() > 0 {
-			got := q.pop()
+			got := q.pop(-1)
 			want := heap.Pop(&ref).(event)
 			if got.at != want.at || got.seq != want.seq {
 				return false
@@ -75,12 +75,12 @@ func TestEventQueueDrainSorted(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	const n = 1000
 	for i := 1; i <= n; i++ {
-		q.push(event{at: Time(rng.Intn(50)), seq: uint64(i), fn: func() {}})
+		q.push(event{at: Time(rng.Intn(50)), seq: uint64(i), fn: func() {}}, -1)
 	}
 	var prev event
 	for i := 0; i < n; i++ {
-		e := q.pop()
-		if i > 0 && !before(prev, e) {
+		e := q.pop(-1)
+		if i > 0 && !(prev.at < e.at || (prev.at == e.at && prev.seq < e.seq)) {
 			t.Fatalf("pop %d: (%v,%d) not after (%v,%d)", i, e.at, e.seq, prev.at, prev.seq)
 		}
 		prev = e
@@ -88,9 +88,9 @@ func TestEventQueueDrainSorted(t *testing.T) {
 	if q.len() != 0 {
 		t.Fatalf("queue not drained: %d left", q.len())
 	}
-	for i, slot := range q.ev[:cap(q.ev)] {
-		if slot.fn != nil {
-			t.Fatalf("drained slot %d still pins its callback", i)
+	for i, fn := range q.fns {
+		if fn != nil {
+			t.Fatalf("drained arena slot %d still pins its callback", i)
 		}
 	}
 }

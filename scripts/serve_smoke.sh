@@ -50,6 +50,11 @@ curl -fsS -X POST "$base/v1/sweep" \
     | grep -q '"points":\[{' \
     || fail "sweep returned no points"
 
+curl -fsS -X POST "$base/v1/noc/sweep" \
+    -d '{"ranks": 2, "chips": 4, "banks": 8, "patterns": ["hotspot", "tornado"], "steps": 2}' \
+    | grep -q '"pattern":"hotspot"' \
+    || fail "noc sweep returned no pattern points"
+
 curl -fsS "$base/metrics" | grep -q '"plan_cache":' \
     || fail "metrics missing plan-cache stats"
 
