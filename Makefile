@@ -24,8 +24,16 @@ build:
 test:
 	$(GO) test ./...
 
+# vet also greps for the deprecated root constructors: internal code,
+# commands, and examples must build backends through NewBackend/NewPIMnet
+# (the wrappers exist only for external callers, plus the one equivalence
+# test in options_test.go).
 vet:
 	$(GO) vet ./...
+	@if grep -rnE 'pimnet\.New(Baseline|IdealSoftware|DIMMLink|NDPBridge|FaultyPIMnet)\(' \
+			--include='*.go' cmd examples internal 2>/dev/null; then \
+		echo "deprecated constructor: use pimnet.NewBackend / pimnet.NewPIMnet (see above)"; exit 1; \
+	fi
 
 # The CI gate: static analysis, the race-enabled suite (which includes the
 # persistent store's crash/corruption/concurrency battery), and the coverage
@@ -33,7 +41,7 @@ vet:
 # (benchmarks are noisy on shared machines); set BENCH_STRICT=1 to make a
 # regression fail the build.
 check:
-	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) cover && $(MAKE) trace-smoke && $(MAKE) serve-smoke && $(MAKE) cluster-smoke && $(MAKE) store-smoke
+	$(MAKE) vet && $(GO) test -race ./... && $(MAKE) cover && $(MAKE) trace-smoke && $(MAKE) serve-smoke && $(MAKE) cluster-smoke && $(MAKE) store-smoke
 	@if [ "$(BENCH_STRICT)" = "1" ]; then \
 		$(MAKE) benchcmp; \
 	else \

@@ -10,12 +10,24 @@
 //
 // Endpoints:
 //
-//	POST /v1/simulate  one experiment point (collective or workload)
-//	POST /v1/sweep     a DPUs x bytes grid on the parallel sweep engine
-//	POST /v1/chunk     one contiguous grid slice (cluster-internal fan-out)
-//	GET  /healthz      liveness (503 once draining)
-//	GET  /metrics      request/error/coalesce counters, plan-cache and sweep
-//	                   aggregates, latency histogram, cluster health
+//	POST /v1/simulate          one experiment point (collective or workload)
+//	POST /v1/sweep             a DPUs x bytes grid on the parallel sweep engine
+//	POST /v1/noc/sweep         packet-level adversarial traffic grid
+//	POST /v1/chunk             one contiguous grid slice (cluster-internal fan-out)
+//	POST /v1/jobs              submit any of the above asynchronously; returns a job ID
+//	GET  /v1/jobs/{id}         poll job status with partial results
+//	GET  /v1/jobs/{id}/result  fetch the finished job's bytes (identical to sync)
+//	GET  /v1/jobs/{id}/events  live progress stream (server-sent events)
+//	GET  /healthz              liveness (503 once draining)
+//	GET  /metrics              Prometheus text exposition (requests, plan cache,
+//	                           store, coalescing, job queues, per-tenant counters)
+//	GET  /metrics.json         deprecated JSON snapshot (one release; use /metrics)
+//
+// Async jobs run -max-jobs at a time, scheduled by deficit round robin over
+// per-tenant queues: -tenant-quotas "acme=4,free=1" caps each tenant's
+// concurrently running jobs and sets its fair-share weight (0 rejects the
+// tenant; unlisted tenants share the "default" pool). Finished jobs stay
+// fetchable for -job-ttl.
 //
 // In -coordinator mode /v1/sweep grids are split into -chunk-size chunks
 // and fanned over the -workers fleet (plain pimnetd processes) with
@@ -48,6 +60,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -72,6 +85,10 @@ type options struct {
 	storeDir      string
 	storeMaxBytes int64
 
+	maxJobs      int
+	jobTTL       time.Duration
+	tenantQuotas string
+
 	coordinator  bool
 	workers      string
 	chunkSize    int
@@ -91,6 +108,9 @@ func main() {
 	flag.Int64Var(&o.maxBody, "max-body-bytes", 1<<20, "max request body size in bytes")
 	flag.IntVar(&o.maxSweepPoints, "max-sweep-points", 4096, "max grid points in one /v1/sweep request")
 	flag.IntVar(&o.maxSweepWorkers, "max-sweep-workers", 0, "max worker pool per sweep request (0 = GOMAXPROCS)")
+	flag.IntVar(&o.maxJobs, "max-jobs", 0, "max concurrently running async jobs (0 = max-inflight)")
+	flag.DurationVar(&o.jobTTL, "job-ttl", 0, "how long finished jobs stay fetchable (0 = default 15m)")
+	flag.StringVar(&o.tenantQuotas, "tenant-quotas", "", "per-tenant job quotas, e.g. \"acme=4,free=1\" (0 rejects the tenant; unlisted tenants share the default pool)")
 	flag.StringVar(&o.storeDir, "store-dir", "", "persistent plan/result store directory: restarts start hot (empty = no store)")
 	flag.Int64Var(&o.storeMaxBytes, "store-max-bytes", 0, "store disk budget before LRU eviction (0 = unlimited; requires -store-dir)")
 	flag.BoolVar(&o.coordinator, "coordinator", false, "run as a cluster coordinator: fan /v1/sweep grids over -workers")
@@ -107,12 +127,12 @@ func main() {
 		fmt.Println(version.String())
 		return
 	}
-	workers, err := validate(o)
+	workers, quotas, err := validate(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimnetd:", err)
 		os.Exit(2)
 	}
-	if err := run(o, workers); err != nil {
+	if err := run(o, workers, quotas); err != nil {
 		fmt.Fprintln(os.Stderr, "pimnetd:", err)
 		os.Exit(1)
 	}
@@ -121,56 +141,66 @@ func main() {
 // validate rejects inconsistent or out-of-range flags upfront with a
 // one-line message — a daemon must refuse to boot misconfigured rather
 // than misbehave at runtime (a zero timeout, say, would fail every request
-// with 504 the moment it arrived). It returns the parsed worker list in
-// coordinator mode.
-func validate(o options) ([]string, error) {
+// with 504 the moment it arrived). It returns the parsed worker list
+// (coordinator mode) and tenant quota map.
+func validate(o options) ([]string, map[string]int, error) {
 	if o.timeout <= 0 {
-		return nil, fmt.Errorf("-timeout must be > 0, got %v", o.timeout)
+		return nil, nil, fmt.Errorf("-timeout must be > 0, got %v", o.timeout)
 	}
 	if o.grace <= 0 {
-		return nil, fmt.Errorf("-grace must be > 0, got %v", o.grace)
+		return nil, nil, fmt.Errorf("-grace must be > 0, got %v", o.grace)
 	}
 	if o.maxInFlight < 0 {
-		return nil, fmt.Errorf("-max-inflight must be >= 0, got %d", o.maxInFlight)
+		return nil, nil, fmt.Errorf("-max-inflight must be >= 0, got %d", o.maxInFlight)
 	}
 	if o.queueDepth < -1 {
-		return nil, fmt.Errorf("-queue-depth must be >= -1, got %d", o.queueDepth)
+		return nil, nil, fmt.Errorf("-queue-depth must be >= -1, got %d", o.queueDepth)
 	}
 	if o.maxBody <= 0 {
-		return nil, fmt.Errorf("-max-body-bytes must be > 0, got %d", o.maxBody)
+		return nil, nil, fmt.Errorf("-max-body-bytes must be > 0, got %d", o.maxBody)
 	}
 	if o.maxSweepPoints <= 0 {
-		return nil, fmt.Errorf("-max-sweep-points must be > 0, got %d", o.maxSweepPoints)
+		return nil, nil, fmt.Errorf("-max-sweep-points must be > 0, got %d", o.maxSweepPoints)
 	}
 	if o.maxSweepWorkers < 0 {
-		return nil, fmt.Errorf("-max-sweep-workers must be >= 0, got %d", o.maxSweepWorkers)
+		return nil, nil, fmt.Errorf("-max-sweep-workers must be >= 0, got %d", o.maxSweepWorkers)
+	}
+	if o.maxJobs < 0 {
+		return nil, nil, fmt.Errorf("-max-jobs must be >= 0, got %d", o.maxJobs)
+	}
+	if o.jobTTL < 0 {
+		return nil, nil, fmt.Errorf("-job-ttl must be >= 0, got %v", o.jobTTL)
+	}
+	quotas, err := parseTenantQuotas(o.tenantQuotas)
+	if err != nil {
+		return nil, nil, err
 	}
 	if o.chunkSize < 0 {
-		return nil, fmt.Errorf("-chunk-size must be >= 0, got %d", o.chunkSize)
+		return nil, nil, fmt.Errorf("-chunk-size must be >= 0, got %d", o.chunkSize)
 	}
 	if o.chunkRetries < 0 {
-		return nil, fmt.Errorf("-chunk-retries must be >= 0, got %d", o.chunkRetries)
+		return nil, nil, fmt.Errorf("-chunk-retries must be >= 0, got %d", o.chunkRetries)
 	}
 	if o.chunkTimeout < 0 {
-		return nil, fmt.Errorf("-chunk-timeout must be >= 0, got %v", o.chunkTimeout)
+		return nil, nil, fmt.Errorf("-chunk-timeout must be >= 0, got %v", o.chunkTimeout)
 	}
 	if o.probeEvery < 0 {
-		return nil, fmt.Errorf("-probe-interval must be >= 0, got %v", o.probeEvery)
+		return nil, nil, fmt.Errorf("-probe-interval must be >= 0, got %v", o.probeEvery)
 	}
 	if o.storeMaxBytes < 0 {
-		return nil, fmt.Errorf("-store-max-bytes must be >= 0, got %d", o.storeMaxBytes)
+		return nil, nil, fmt.Errorf("-store-max-bytes must be >= 0, got %d", o.storeMaxBytes)
 	}
 	if o.storeMaxBytes > 0 && o.storeDir == "" {
-		return nil, errors.New("-store-max-bytes requires -store-dir")
+		return nil, nil, errors.New("-store-max-bytes requires -store-dir")
 	}
 	if !o.coordinator {
 		if o.workers != "" {
-			return nil, errors.New("-workers requires -coordinator")
+			return nil, nil, errors.New("-workers requires -coordinator")
 		}
-		return nil, nil
+		return nil, quotas, nil
 	}
 	if o.workers == "" {
-		return nil, errors.New("-coordinator requires at least one -workers URL")
+		return nil, nil, errors.New("-coordinator requires at least one -workers URL")
 	}
 	var workers []string
 	for _, w := range strings.Split(o.workers, ",") {
@@ -180,20 +210,55 @@ func validate(o options) ([]string, error) {
 		}
 		u, err := url.Parse(w)
 		if err != nil || u.Scheme == "" || u.Host == "" {
-			return nil, fmt.Errorf("-workers entry %q is not a base URL (want http://host:port)", w)
+			return nil, nil, fmt.Errorf("-workers entry %q is not a base URL (want http://host:port)", w)
 		}
 		workers = append(workers, strings.TrimRight(w, "/"))
 	}
 	if len(workers) == 0 {
-		return nil, errors.New("-coordinator requires at least one -workers URL")
+		return nil, nil, errors.New("-coordinator requires at least one -workers URL")
 	}
-	return workers, nil
+	return workers, quotas, nil
+}
+
+// parseTenantQuotas parses the -tenant-quotas syntax: comma-separated
+// name=N entries, N >= 0 (nil for the empty string).
+func parseTenantQuotas(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	quotas := map[string]int{}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenant-quotas entry %q is not name=N", entry)
+		}
+		q, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return nil, fmt.Errorf("-tenant-quotas entry %q: quota %q is not an integer", entry, val)
+		}
+		if q < 0 {
+			return nil, fmt.Errorf("-tenant-quotas entry %q: quota must be >= 0", entry)
+		}
+		if _, dup := quotas[name]; dup {
+			return nil, fmt.Errorf("-tenant-quotas names %q twice", name)
+		}
+		quotas[name] = q
+	}
+	if len(quotas) == 0 {
+		return nil, fmt.Errorf("-tenant-quotas %q has no entries", s)
+	}
+	return quotas, nil
 }
 
 // run serves until SIGINT/SIGTERM, then drains: the serving core refuses new
 // experiment requests (healthz turns 503 so load balancers stop routing
 // here) while requests already admitted run to completion, bounded by grace.
-func run(o options, workers []string) error {
+func run(o options, workers []string, quotas map[string]int) error {
 	cfg := serve.Config{
 		MaxInFlight:     o.maxInFlight,
 		QueueDepth:      o.queueDepth,
@@ -201,6 +266,9 @@ func run(o options, workers []string) error {
 		MaxBodyBytes:    o.maxBody,
 		MaxSweepPoints:  o.maxSweepPoints,
 		MaxSweepWorkers: o.maxSweepWorkers,
+		MaxJobs:         o.maxJobs,
+		JobTTL:          o.jobTTL,
+		TenantQuotas:    quotas,
 	}
 
 	if o.storeDir != "" {

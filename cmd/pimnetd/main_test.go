@@ -37,6 +37,14 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 		{"negative body bytes", func(o *options) { o.maxBody = -5 }, "-max-body-bytes"},
 		{"zero sweep points", func(o *options) { o.maxSweepPoints = 0 }, "-max-sweep-points"},
 		{"negative sweep workers", func(o *options) { o.maxSweepWorkers = -1 }, "-max-sweep-workers"},
+		{"negative max jobs", func(o *options) { o.maxJobs = -1 }, "-max-jobs"},
+		{"negative job ttl", func(o *options) { o.jobTTL = -time.Minute }, "-job-ttl"},
+		{"quota without equals", func(o *options) { o.tenantQuotas = "acme" }, "-tenant-quotas"},
+		{"quota not integer", func(o *options) { o.tenantQuotas = "acme=fast" }, "-tenant-quotas"},
+		{"quota negative", func(o *options) { o.tenantQuotas = "acme=-2" }, "-tenant-quotas"},
+		{"quota empty name", func(o *options) { o.tenantQuotas = "=3" }, "-tenant-quotas"},
+		{"quota duplicate tenant", func(o *options) { o.tenantQuotas = "acme=1,acme=2" }, "-tenant-quotas"},
+		{"quota only commas", func(o *options) { o.tenantQuotas = ",," }, "-tenant-quotas"},
 		{"negative chunk size", func(o *options) { o.chunkSize = -1 }, "-chunk-size"},
 		{"negative chunk retries", func(o *options) { o.chunkRetries = -1 }, "-chunk-retries"},
 		{"negative chunk timeout", func(o *options) { o.chunkTimeout = -time.Second }, "-chunk-timeout"},
@@ -53,7 +61,7 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			o := defaults()
 			tc.mut(&o)
-			if _, err := validate(o); err == nil {
+			if _, _, err := validate(o); err == nil {
 				t.Fatalf("validate accepted %+v", o)
 			} else if !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("error %q does not name %q", err, tc.want)
@@ -65,13 +73,13 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 // TestValidateAcceptsGoodFlags: the defaults and a well-formed coordinator
 // line must pass, with worker URLs parsed and trailing slashes trimmed.
 func TestValidateAcceptsGoodFlags(t *testing.T) {
-	if ws, err := validate(defaults()); err != nil || ws != nil {
+	if ws, _, err := validate(defaults()); err != nil || ws != nil {
 		t.Fatalf("defaults: workers %v, err %v", ws, err)
 	}
 	o := defaults()
 	o.coordinator = true
 	o.workers = "http://10.0.0.1:8080/, http://10.0.0.2:8080"
-	ws, err := validate(o)
+	ws, _, err := validate(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +92,35 @@ func TestValidateAcceptsGoodFlags(t *testing.T) {
 	o = defaults()
 	o.storeDir = "/tmp/pimnet-store"
 	o.storeMaxBytes = 64 << 20
-	if _, err := validate(o); err != nil {
+	if _, _, err := validate(o); err != nil {
 		t.Fatalf("store flags rejected: %v", err)
 	}
 	o.storeMaxBytes = 0
-	if _, err := validate(o); err != nil {
+	if _, _, err := validate(o); err != nil {
 		t.Fatalf("unbounded store rejected: %v", err)
+	}
+}
+
+// TestParseTenantQuotas: the -tenant-quotas syntax parses into the quota
+// map (whitespace-tolerant, zero allowed — zero means "rejected tenant",
+// which validate must accept because it is a legitimate policy).
+func TestParseTenantQuotas(t *testing.T) {
+	o := defaults()
+	o.tenantQuotas = " acme = 4 , free=0, batch=2 "
+	_, quotas, err := validate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"acme": 4, "free": 0, "batch": 2}
+	if len(quotas) != len(want) {
+		t.Fatalf("quotas = %v, want %v", quotas, want)
+	}
+	for name, q := range want {
+		if quotas[name] != q {
+			t.Fatalf("quota[%s] = %d, want %d", name, quotas[name], q)
+		}
+	}
+	if _, quotas, err := validate(defaults()); err != nil || quotas != nil {
+		t.Fatalf("empty -tenant-quotas: quotas %v, err %v", quotas, err)
 	}
 }

@@ -1,0 +1,72 @@
+// Command promcheck validates Prometheus text exposition — the contract
+// `make serve-smoke` enforces on pimnetd's /metrics without needing an
+// actual Prometheus in the build environment.
+//
+// Usage:
+//
+//	promcheck metrics.txt
+//	curl -s localhost:8080/metrics | promcheck
+//	promcheck -require pimnetd_requests_total,pimnetd_plan_cache_hits_total metrics.txt
+//
+// It exits non-zero when the document violates the exposition format
+// (sample without TYPE, malformed names or labels, duplicate series,
+// histogram missing its +Inf bucket...) or when a -require'd family has no
+// samples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pimnet/internal/metrics"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated family names that must have samples")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		data, err = io.ReadAll(os.Stdin)
+	case 1:
+		data, err = os.ReadFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "promcheck: want at most one file argument (default stdin)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+
+	scrape, err := metrics.ValidateProm(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	families := scrape.Families()
+	present := make(map[string]bool, len(families))
+	for _, f := range families {
+		present[f] = true
+	}
+	missing := 0
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !present[name] {
+			fmt.Fprintf(os.Stderr, "promcheck: required family %s has no samples\n", name)
+			missing++
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: OK (%d families, %d series)\n", len(families), len(scrape.Series))
+}

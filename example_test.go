@@ -19,7 +19,7 @@ func Example() {
 		Pattern: pimnet.AllReduce, Op: pimnet.Sum,
 		BytesPerNode: 32 << 10, ElemSize: 4, Nodes: 256,
 	}
-	baseline, _ := pimnet.NewBaseline(sys)
+	baseline, _ := pimnet.NewBackend(pimnet.Baseline, sys)
 	p, _ := pimnet.NewPIMnet(sys)
 	rb, err := baseline.Collective(req)
 	if err != nil {

@@ -39,7 +39,7 @@ func main() {
 		}
 	}
 
-	b, _ := pimnet.NewBaseline(sys)
+	b, _ := pimnet.NewBackend(pimnet.Baseline, sys)
 	p, _ := pimnet.NewPIMnet(sys)
 	mb, _ := pimnet.NewMachine(sys, b)
 	mp, _ := pimnet.NewMachine(sys, p)
@@ -65,7 +65,7 @@ func main() {
 		msys := pimnet.DefaultSystem()
 		msys.Channels = ch
 		wl := wls[0]
-		bb, _ := pimnet.NewBaseline(msys)
+		bb, _ := pimnet.NewBackend(pimnet.Baseline, msys)
 		pp, _ := pimnet.NewPIMnet(msys)
 		mbb, _ := pimnet.NewMachine(msys, bb)
 		mpp, _ := pimnet.NewMachine(msys, pp)

@@ -38,7 +38,7 @@ func runFaulty(sys pimnet.System, spec string, seed int64, pat pimnet.Pattern) (
 		log.Fatal(err)
 	}
 	fs.Seed = seed
-	p, err := pimnet.NewFaultyPIMnet(sys, fs)
+	p, err := pimnet.NewPIMnet(sys, pimnet.WithFaults(fs))
 	if err != nil {
 		log.Fatal(err)
 	}

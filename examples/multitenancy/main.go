@@ -52,7 +52,7 @@ func main() {
 		return rep
 	}
 
-	hostMk := func(s pimnet.System) (pimnet.Backend, error) { return pimnet.NewBaseline(s) }
+	hostMk := func(s pimnet.System) (pimnet.Backend, error) { return pimnet.NewBackend(pimnet.Baseline, s) }
 	pimMk := func(s pimnet.System) (pimnet.Backend, error) { return pimnet.NewPIMnet(s) }
 
 	hs, hr := solo(hostMk), shared(hostMk)

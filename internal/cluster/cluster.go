@@ -288,6 +288,17 @@ func (c *Coordinator) RunSweep(ctx context.Context, req serve.SweepRequest) (*se
 	spans := chunkSpans(len(grid), c.cfg.ChunkSize)
 	results := make([]ChunkResult, len(spans))
 	errs := make([]error, len(spans))
+
+	// Per-chunk progress for async jobs: the coordinator reports cumulative
+	// completion as each chunk lands, serialized under progressMu. The
+	// progress function is cleared from the execution context first, so a
+	// chunk degrading to local execution cannot also emit the chunk's inner
+	// per-point events — chunk completion is counted exactly once, here.
+	progress := serve.ProgressFromContext(ctx)
+	var progressMu sync.Mutex
+	progressDone := 0
+	ctx = serve.WithProgress(ctx, nil)
+
 	sem := make(chan struct{}, c.cfg.MaxInFlightChunks)
 	var wg sync.WaitGroup
 	for i, sp := range spans {
@@ -299,6 +310,12 @@ func (c *Coordinator) RunSweep(ctx context.Context, req serve.SweepRequest) (*se
 			pts, err := c.runChunk(ctx, base, i, sp.start, grid[sp.start:sp.end], keys[sp.start])
 			results[i] = ChunkResult{Start: sp.start, Points: pts}
 			errs[i] = err
+			if progress != nil && err == nil {
+				progressMu.Lock()
+				progressDone += len(pts)
+				progress(serve.ProgressEvent{Done: progressDone, Total: len(grid), Chunk: i, Points: pts})
+				progressMu.Unlock()
+			}
 		}(i, sp)
 	}
 	wg.Wait()

@@ -165,7 +165,7 @@ func TestClusterSweepMatchesSingleNode(t *testing.T) {
 		t.Fatalf("chunks dispatched = %d, want 3", n)
 	}
 
-	resp, err := http.Get(front.URL + "/metrics")
+	resp, err := http.Get(front.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestPointErrorPropagatesWithGlobalIndex(t *testing.T) {
 		}
 		calls.Add(1)
 		w.WriteHeader(http.StatusUnprocessableEntity)
-		fmt.Fprint(w, `{"error":"boom","point":1}`)
+		fmt.Fprint(w, `{"error":{"code":"unprocessable","message":"boom","point_index":1}}`)
 	}))
 	defer fake.Close()
 

@@ -1,0 +1,434 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled so the
+// daemon stays dependency-free. PromFamily is the writer-side model — one
+// metric family with its samples — and WriteProm renders a slice of them.
+// ValidateProm is the matching consumer-side checker used by tests,
+// cmd/promcheck, and the serve smoke script to prove /metrics stays
+// scrapeable without running an actual Prometheus.
+
+// PromKind is a metric family's TYPE.
+type PromKind int
+
+const (
+	PromCounter PromKind = iota
+	PromGauge
+	PromHistogram
+)
+
+func (k PromKind) String() string {
+	switch k {
+	case PromCounter:
+		return "counter"
+	case PromGauge:
+		return "gauge"
+	case PromHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// PromSample is one series of a family: an optional name suffix (histogram
+// _bucket/_sum/_count), ordered label pairs, and the value.
+type PromSample struct {
+	Suffix string
+	Labels [][2]string
+	Value  float64
+}
+
+// PromFamily is one metric family: HELP, TYPE, and its samples.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Kind    PromKind
+	Samples []PromSample
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// PromBoundSeconds renders a millisecond histogram bound as the seconds
+// string used in le labels (shortest float representation, so 0.5ms ->
+// "0.0005" and 1000ms -> "1").
+func PromBoundSeconds(ms float64) string {
+	return strconv.FormatFloat(ms/1000, 'g', -1, 64)
+}
+
+// promFloat renders a sample value. Prometheus accepts Go's shortest
+// representation plus +Inf/-Inf/NaN spellings.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders families in exposition text format. Families render in
+// slice order; each family's samples in slice order (callers keep label
+// sets sorted for deterministic scrapes).
+func WriteProm(w io.Writer, families []PromFamily) error {
+	for _, f := range families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, strings.ReplaceAll(f.Help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if _, err := io.WriteString(w, f.Name+s.Suffix); err != nil {
+				return err
+			}
+			if len(s.Labels) > 0 {
+				parts := make([]string, len(s.Labels))
+				for i, kv := range s.Labels {
+					parts[i] = kv[0] + `="` + promEscape(kv[1]) + `"`
+				}
+				if _, err := io.WriteString(w, "{"+strings.Join(parts, ",")+"}"); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, " "+promFloat(s.Value)+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PromSeries is one parsed sample line.
+type PromSeries struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromScrape is a parsed exposition document.
+type PromScrape struct {
+	// Types maps family name to declared TYPE.
+	Types map[string]string
+	// Series holds every sample line in document order.
+	Series []PromSeries
+}
+
+// Families returns the sorted family names that have at least one sample
+// (histogram suffixes fold into their base family).
+func (p *PromScrape) Families() []string {
+	seen := map[string]bool{}
+	for _, s := range p.Series {
+		name := s.Name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && p.Types[base] == "histogram" {
+				name = base
+				break
+			}
+		}
+		seen[name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateProm parses an exposition document and enforces the invariants a
+// scraper relies on: every sample's family has a TYPE declared before it,
+// metric and label names are well-formed, values parse as floats, no
+// duplicate series, and each histogram has _sum, _count, and a +Inf bucket
+// whose count equals _count. It returns the parsed scrape on success.
+func ValidateProm(text string) (*PromScrape, error) {
+	scrape := &PromScrape{Types: map[string]string{}}
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("line %d: TYPE without kind", lineNo)
+				}
+				name, kind := fields[2], fields[3]
+				if !validPromName(name) {
+					return nil, fmt.Errorf("line %d: invalid family name %q", lineNo, name)
+				}
+				if _, dup := scrape.Types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q", lineNo, kind)
+				}
+				scrape.Types[name] = kind
+			}
+			continue
+		}
+		series, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if typeFamilyOf(scrape.Types, series.Name) == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, series.Name)
+		}
+		key := seriesKey(series)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		scrape.Series = append(scrape.Series, series)
+	}
+	if err := validateHistograms(scrape); err != nil {
+		return nil, err
+	}
+	return scrape, nil
+}
+
+// typeFamilyOf resolves a sample name to its declared family, folding
+// histogram suffixes.
+func typeFamilyOf(types map[string]string, name string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+func seriesKey(s PromSeries) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		b.WriteString("|" + k + "=" + s.Labels[k])
+	}
+	return b.String()
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromSample parses one sample line: name{labels} value [timestamp].
+func parsePromSample(line string) (PromSeries, error) {
+	s := PromSeries{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		s.Name = rest[:brace]
+		rest = rest[brace+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ,")
+			if rest == "" {
+				return s, fmt.Errorf("unterminated label set")
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return s, fmt.Errorf("label without '='")
+			}
+			lname := rest[:eq]
+			if !validPromName(lname) || strings.ContainsRune(lname, ':') {
+				return s, fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return s, fmt.Errorf("label %q value not quoted", lname)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return s, fmt.Errorf("unterminated label value for %q", lname)
+				}
+				c := rest[0]
+				if c == '\\' {
+					if len(rest) < 2 {
+						return s, fmt.Errorf("dangling escape in label %q", lname)
+					}
+					switch rest[1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("bad escape \\%c in label %q", rest[1], lname)
+					}
+					rest = rest[2:]
+					continue
+				}
+				if c == '"' {
+					rest = rest[1:]
+					break
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			if _, dup := s.Labels[lname]; dup {
+				return s, fmt.Errorf("duplicate label %q", lname)
+			}
+			s.Labels[lname] = val.String()
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return s, fmt.Errorf("sample without value")
+		}
+		s.Name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want 'value [timestamp]', got %q", strings.TrimSpace(rest))
+	}
+	v, err := parsePromFloat(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parsePromFloat(f string) (float64, error) {
+	switch f {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(f, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", f)
+	}
+	return v, nil
+}
+
+// validateHistograms checks every declared histogram family that has
+// samples: _sum and _count present, at least one bucket, a +Inf bucket, and
+// +Inf bucket count == _count, per label set (excluding "le").
+func validateHistograms(scrape *PromScrape) error {
+	type hist struct {
+		infCount float64
+		hasInf   bool
+		buckets  int
+		count    float64
+		hasCount bool
+		hasSum   bool
+	}
+	hists := map[string]*hist{}
+	get := func(family string, labels map[string]string) *hist {
+		base := map[string]string{}
+		for k, v := range labels {
+			if k != "le" {
+				base[k] = v
+			}
+		}
+		key := seriesKey(PromSeries{Name: family, Labels: base})
+		h := hists[key]
+		if h == nil {
+			h = &hist{}
+			hists[key] = h
+		}
+		return h
+	}
+	for _, s := range scrape.Series {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.Name, suf)
+			if base == s.Name || scrape.Types[base] != "histogram" {
+				continue
+			}
+			h := get(base, s.Labels)
+			switch suf {
+			case "_bucket":
+				le, ok := s.Labels["le"]
+				if !ok {
+					return fmt.Errorf("histogram %s: bucket without le label", base)
+				}
+				h.buckets++
+				if le == "+Inf" {
+					h.hasInf = true
+					h.infCount = s.Value
+				}
+			case "_sum":
+				h.hasSum = true
+			case "_count":
+				h.hasCount = true
+				h.count = s.Value
+			}
+		}
+	}
+	for key, h := range hists {
+		name := key
+		if i := strings.IndexByte(name, '|'); i >= 0 {
+			name = name[:i]
+		}
+		if h.buckets == 0 {
+			return fmt.Errorf("histogram %s: no buckets", name)
+		}
+		if !h.hasInf {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", name)
+		}
+		if !h.hasSum || !h.hasCount {
+			return fmt.Errorf("histogram %s: missing _sum or _count", name)
+		}
+		if h.infCount != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != count %v", name, h.infCount, h.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromWriteValidateRoundTrip: WriteProm output always passes
+// ValidateProm, with kinds, labels, and histogram suffixes preserved.
+func TestPromWriteValidateRoundTrip(t *testing.T) {
+	families := []PromFamily{
+		{Name: "app_requests_total", Help: "Requests by endpoint.", Kind: PromCounter, Samples: []PromSample{
+			{Labels: [][2]string{{"endpoint", "simulate"}}, Value: 12},
+			{Labels: [][2]string{{"endpoint", "sweep"}}, Value: 3},
+		}},
+		{Name: "app_in_flight", Help: "Currently executing.", Kind: PromGauge, Samples: []PromSample{
+			{Value: 2},
+		}},
+		{Name: "app_latency_seconds", Help: "Request latency.", Kind: PromHistogram, Samples: []PromSample{
+			{Suffix: "_bucket", Labels: [][2]string{{"le", "0.001"}}, Value: 4},
+			{Suffix: "_bucket", Labels: [][2]string{{"le", "0.01"}}, Value: 9},
+			{Suffix: "_bucket", Labels: [][2]string{{"le", "+Inf"}}, Value: 15},
+			{Suffix: "_sum", Value: 0.123},
+			{Suffix: "_count", Value: 15},
+		}},
+		{Name: "app_weird_values", Help: "Escaping and\nspecial floats.", Kind: PromGauge, Samples: []PromSample{
+			{Labels: [][2]string{{"path", `C:\tmp "x"` + "\nnewline"}}, Value: 0.5},
+		}},
+	}
+	var b strings.Builder
+	if err := WriteProm(&b, families); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := ValidateProm(b.String())
+	if err != nil {
+		t.Fatalf("round trip failed:\n%s\n%v", b.String(), err)
+	}
+	if got := scrape.Types["app_requests_total"]; got != "counter" {
+		t.Errorf("type = %q, want counter", got)
+	}
+	if got := scrape.Types["app_latency_seconds"]; got != "histogram" {
+		t.Errorf("type = %q, want histogram", got)
+	}
+	names := scrape.Families()
+	want := []string{"app_in_flight", "app_latency_seconds", "app_requests_total", "app_weird_values"}
+	if len(names) != len(want) {
+		t.Fatalf("families %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("families %v, want %v", names, want)
+		}
+	}
+	// The escaped label value survives the round trip.
+	found := false
+	for _, s := range scrape.Series {
+		if s.Name == "app_weird_values" {
+			found = true
+			if s.Labels["path"] != `C:\tmp "x"`+"\nnewline" {
+				t.Errorf("label round trip: %q", s.Labels["path"])
+			}
+		}
+	}
+	if !found {
+		t.Error("escaped series missing from scrape")
+	}
+}
+
+// TestPromBoundSeconds: millisecond bounds render as shortest-form second
+// strings.
+func TestPromBoundSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		ms   float64
+		want string
+	}{{0.5, "0.0005"}, {1, "0.001"}, {1000, "1"}, {2500, "2.5"}} {
+		if got := PromBoundSeconds(tc.ms); got != tc.want {
+			t.Errorf("PromBoundSeconds(%v) = %q, want %q", tc.ms, got, tc.want)
+		}
+	}
+}
+
+// TestValidatePromRejections: each malformed document is rejected with an
+// error naming the offense.
+func TestValidatePromRejections(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"sample without TYPE",
+			"app_x 1\n",
+			"no preceding TYPE"},
+		{"duplicate TYPE",
+			"# TYPE app_x counter\n# TYPE app_x gauge\napp_x 1\n",
+			"duplicate TYPE"},
+		{"unknown TYPE kind",
+			"# TYPE app_x widget\napp_x 1\n",
+			"unknown TYPE"},
+		{"invalid metric name",
+			"# TYPE 0bad counter\n0bad 1\n",
+			"invalid family name"},
+		{"invalid label name",
+			"# TYPE app_x counter\napp_x{0bad=\"v\"} 1\n",
+			"invalid label name"},
+		{"unquoted label value",
+			"# TYPE app_x counter\napp_x{l=v} 1\n",
+			"not quoted"},
+		{"unterminated label set",
+			"# TYPE app_x counter\napp_x{l=\"v\"\n",
+			"unterminated"},
+		{"duplicate series",
+			"# TYPE app_x counter\napp_x{l=\"v\"} 1\napp_x{l=\"v\"} 2\n",
+			"duplicate series"},
+		{"bad value",
+			"# TYPE app_x counter\napp_x one\n",
+			"bad value"},
+		{"bad timestamp",
+			"# TYPE app_x counter\napp_x 1 soon\n",
+			"bad timestamp"},
+		{"histogram without +Inf",
+			"# TYPE app_h histogram\napp_h_bucket{le=\"1\"} 1\napp_h_sum 1\napp_h_count 1\n",
+			"missing +Inf"},
+		{"histogram without count",
+			"# TYPE app_h histogram\napp_h_bucket{le=\"+Inf\"} 1\napp_h_sum 1\n",
+			"missing _sum or _count"},
+		{"histogram count mismatch",
+			"# TYPE app_h histogram\napp_h_bucket{le=\"+Inf\"} 2\napp_h_sum 1\napp_h_count 3\n",
+			"+Inf bucket"},
+		{"histogram bucket without le",
+			"# TYPE app_h histogram\napp_h_bucket 2\napp_h_sum 1\napp_h_count 2\n",
+			"without le"},
+	}
+	for _, tc := range cases {
+		_, err := ValidateProm(tc.doc)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestValidatePromAcceptsRealisticDocument: comments, blank lines, special
+// float values, timestamps, and per-label-set histograms all pass.
+func TestValidatePromAcceptsRealisticDocument(t *testing.T) {
+	doc := strings.Join([]string{
+		"# A freeform comment.",
+		"# HELP app_rate Current rate.",
+		"# TYPE app_rate gauge",
+		"app_rate 0.25",
+		"app_rate{shard=\"a\"} NaN",
+		"app_rate{shard=\"b\"} +Inf",
+		"",
+		"# TYPE app_lat histogram",
+		"app_lat_bucket{tenant=\"x\",le=\"0.1\"} 1",
+		"app_lat_bucket{tenant=\"x\",le=\"+Inf\"} 2",
+		"app_lat_sum{tenant=\"x\"} 0.3",
+		"app_lat_count{tenant=\"x\"} 2",
+		"app_lat_bucket{tenant=\"y\",le=\"+Inf\"} 0",
+		"app_lat_sum{tenant=\"y\"} 0",
+		"app_lat_count{tenant=\"y\"} 0 1712345678901",
+		"",
+	}, "\n")
+	scrape, err := ValidateProm(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scrape.Series) != 10 {
+		t.Fatalf("parsed %d series, want 10", len(scrape.Series))
+	}
+	fams := scrape.Families()
+	if len(fams) != 2 || fams[0] != "app_lat" || fams[1] != "app_rate" {
+		t.Fatalf("families %v", fams)
+	}
+}

@@ -47,6 +47,22 @@ func (g *gate) acquire(ctx context.Context) error {
 	}
 }
 
+// acquireWait claims an execution slot without the fail-fast saturation
+// check: the caller waits as long as its context allows. Async jobs use it
+// — their concurrency is already bounded by the job scheduler, so they
+// queue for slots instead of shedding. Waiters still count in admitted, so
+// the queue-depth gauge reflects them.
+func (g *gate) acquireWait(ctx context.Context) error {
+	g.admitted.Add(1)
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		g.admitted.Add(-1)
+		return ctx.Err()
+	}
+}
+
 // release frees the slot claimed by a successful acquire.
 func (g *gate) release() {
 	<-g.sem

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"pimnet/internal/metrics"
 	"pimnet/internal/sweep"
@@ -53,15 +54,6 @@ type ChunkRequest struct {
 // on.
 type ChunkResponse struct {
 	Points []SweepPoint `json:"points"`
-}
-
-// chunkErrorBody is the structured 422 body of a failed chunk: the
-// chunk-local index of the lowest failing point plus its bare error
-// message, so a coordinator can rebuild the global lowest-index error the
-// single-node sweep would have reported.
-type chunkErrorBody struct {
-	Error string `json:"error"`
-	Point int    `json:"point"`
 }
 
 // PointError is a deterministic execution failure of one sweep point. It
@@ -168,10 +160,27 @@ func (s *Server) runPoints(ctx context.Context, points []simPoint, workers int) 
 	if workers <= 0 || workers > s.cfg.MaxSweepWorkers {
 		workers = s.cfg.MaxSweepWorkers
 	}
+	// Per-point progress for async jobs: completed points stream out as
+	// they land, with the count and the point's wire result in one
+	// serialized event. Synchronous requests carry no progress function, so
+	// this is a single nil check for them.
+	progress := ProgressFromContext(ctx)
+	var progressMu sync.Mutex
+	progressDone := 0
 	errs := make([]error, len(points))
 	results, stats, err := sweep.Run(points, func(c *sweep.Context, pt simPoint) (SweepPoint, error) {
 		sp, err := s.runOnePoint(pt)
 		errs[c.Index] = err
+		if progress != nil {
+			progressMu.Lock()
+			progressDone++
+			ev := ProgressEvent{Done: progressDone, Total: len(points), Chunk: -1}
+			if err == nil {
+				ev.Points = []SweepPoint{sp}
+			}
+			progress(ev)
+			progressMu.Unlock()
+		}
 		return sp, err
 	}, sweep.WithWorkers(workers), sweep.WithCache(s.cache), sweep.WithContext(ctx))
 	if err != nil {
@@ -226,7 +235,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	s.met.chunk.Add(1)
 	if !s.begin() {
 		s.met.rejected.Add(1)
-		s.write(w, overloadResponse("server is draining"))
+		s.write(w, drainingResponse())
 		return
 	}
 	defer s.inflight.Done()
@@ -256,27 +265,25 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	}))
 }
 
-// chunkErrorResponse renders a point failure as the structured 422 chunk
-// error body.
+// chunkErrorResponse renders a point failure as the enveloped 422: the
+// chunk-local point_index plus the bare (index-free) inner message, so a
+// coordinator can rebuild the global lowest-index error the single-node
+// sweep would have reported.
 func chunkErrorResponse(pe *PointError) response {
-	body, _ := json.Marshal(chunkErrorBody{Error: pe.Err.Error(), Point: pe.Index})
-	return response{status: http.StatusUnprocessableEntity, body: body}
+	return pointErrorResponse(pe, true)
 }
 
-// DecodeChunkError parses a worker's structured 422 chunk error body back
-// into a chunk-local *PointError. It fails when the body is not the
-// structured form (a plain {"error": ...} from decode validation, say) —
-// the caller then surfaces the raw body instead.
+// DecodeChunkError parses a worker's enveloped 422 chunk error body back
+// into a chunk-local *PointError. It fails when the body lacks a
+// point_index (a plain validation envelope, say) — the caller then
+// surfaces the raw body instead.
 func DecodeChunkError(body []byte) (*PointError, error) {
-	var wire struct {
-		Error *string `json:"error"`
-		Point *int    `json:"point"`
-	}
+	var wire errorEnvelope
 	if err := json.Unmarshal(body, &wire); err != nil {
 		return nil, err
 	}
-	if wire.Error == nil || wire.Point == nil {
+	if wire.Error.Message == "" || wire.Error.PointIndex == nil {
 		return nil, errors.New("serve: not a structured chunk error")
 	}
-	return &PointError{Index: *wire.Point, Err: errors.New(*wire.Error)}, nil
+	return &PointError{Index: *wire.Error.PointIndex, Err: errors.New(wire.Error.Message)}, nil
 }

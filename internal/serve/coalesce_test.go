@@ -109,14 +109,12 @@ func TestCoalescedFollowersGetLeaderCancellation(t *testing.T) {
 		if statuses[i] != 499 {
 			t.Fatalf("follower %d: status %d (body %s), want the leader's 499", i, statuses[i], bodies[i])
 		}
-		var wire struct {
-			Error string `json:"error"`
-		}
+		var wire errorEnvelope
 		if err := json.Unmarshal(bodies[i], &wire); err != nil {
 			t.Fatalf("follower %d received partial/invalid bytes %q: %v", i, bodies[i], err)
 		}
-		if wire.Error != "client canceled request" {
-			t.Fatalf("follower %d: error %q", i, wire.Error)
+		if wire.Error.Message != "client canceled request" || wire.Error.Code != "client_closed" {
+			t.Fatalf("follower %d: error %+v", i, wire.Error)
 		}
 		if string(bodies[i]) != string(bodies[0]) {
 			t.Fatalf("follower bodies diverged: %q vs %q", bodies[i], bodies[0])

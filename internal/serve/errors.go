@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Every 4xx/5xx across every endpoint renders the same envelope:
+//
+//	{"error": {"code": "...", "message": "...", "point_index": N}}
+//
+// code is a stable machine-readable discriminator (clients branch on it,
+// never on message text), message is the human-readable detail, and
+// point_index is present only for deterministic point failures (422s from
+// sweep/chunk execution), carrying the failing point's index — chunk-local
+// on a worker's /v1/chunk answer, global everywhere else.
+
+// Error codes. These are wire contract: API.md documents each, and clients
+// (including the cluster coordinator) dispatch on them.
+const (
+	codeBadRequest       = "bad_request"        // 400: malformed or invalid payload
+	codeNotFound         = "not_found"          // 404: unknown path or job ID
+	codeMethodNotAllowed = "method_not_allowed" // 405: known path, wrong method
+	codeNotReady         = "not_ready"          // 409: job result fetched before completion
+	codeGone             = "gone"               // 410: interrupted job's result
+	codeUnprocessable    = "unprocessable"      // 422: valid request the simulator cannot execute
+	codeQuotaExhausted   = "quota_exhausted"    // 429: tenant quota or backlog exhausted
+	codeClientClosed     = "client_closed"      // 499: client went away mid-request
+	codeInternal         = "internal"           // 500: panic or encoding failure
+	codeBadGateway       = "bad_gateway"        // 502: cluster could not complete a sweep
+	codeOverloaded       = "overloaded"         // 503: admission or job backlog saturated
+	codeDraining         = "draining"           // 503: shutdown in progress
+	codeDeadlineExceeded = "deadline_exceeded"  // 504: request deadline expired
+)
+
+// ErrorDetail is the envelope's payload.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// PointIndex is the failing grid point's index for deterministic point
+	// failures (chunk-local in /v1/chunk responses, global elsewhere).
+	PointIndex *int `json:"point_index,omitempty"`
+}
+
+// errorEnvelope is the wire form of every non-2xx body.
+type errorEnvelope struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// codeForStatus maps a status to its default code; helpers that need a more
+// specific code (draining vs overloaded, say) pass one explicitly.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return codeBadRequest
+	case http.StatusNotFound:
+		return codeNotFound
+	case http.StatusMethodNotAllowed:
+		return codeMethodNotAllowed
+	case http.StatusConflict:
+		return codeNotReady
+	case http.StatusGone:
+		return codeGone
+	case http.StatusUnprocessableEntity:
+		return codeUnprocessable
+	case http.StatusTooManyRequests:
+		return codeQuotaExhausted
+	case 499:
+		return codeClientClosed
+	case http.StatusBadGateway:
+		return codeBadGateway
+	case http.StatusServiceUnavailable:
+		return codeOverloaded
+	case http.StatusGatewayTimeout:
+		return codeDeadlineExceeded
+	default:
+		return codeInternal
+	}
+}
+
+// renderError marshals one envelope body.
+func renderError(d ErrorDetail) []byte {
+	body, _ := json.Marshal(errorEnvelope{Error: d})
+	return body
+}
+
+// errorResponse renders the standard error envelope with the status's
+// default code.
+func errorResponse(status int, err error) response {
+	return response{status: status, body: renderError(ErrorDetail{
+		Code: codeForStatus(status), Message: err.Error()})}
+}
+
+// pointErrorResponse renders a deterministic point failure: the 422
+// envelope carrying point_index. message keeps the index-free inner error
+// when bare is true (the /v1/chunk wire form, which the coordinator
+// re-prefixes after remapping to the global index) and the full rendered
+// "sweep: point N: ..." string otherwise.
+func pointErrorResponse(pe *PointError, bare bool) response {
+	idx := pe.Index
+	msg := pe.Error()
+	if bare {
+		msg = pe.Err.Error()
+	}
+	return response{status: http.StatusUnprocessableEntity, body: renderError(ErrorDetail{
+		Code: codeUnprocessable, Message: msg, PointIndex: &idx})}
+}
+
+// overloadResponse is the load-shedding 503 with its Retry-After hint.
+func overloadResponse(msg string) response {
+	return response{status: http.StatusServiceUnavailable, retryAfter: true,
+		body: renderError(ErrorDetail{Code: codeOverloaded, Message: msg})}
+}
+
+// drainingResponse is the shutdown-refusal 503: same Retry-After semantics
+// as overload, but a distinct code so clients can tell "come back shortly"
+// from "this instance is going away".
+func drainingResponse() response {
+	return response{status: http.StatusServiceUnavailable, retryAfter: true,
+		body: renderError(ErrorDetail{Code: codeDraining, Message: "server is draining"})}
+}
+
+// quotaResponse is the per-tenant 429. It carries the same jittered
+// Retry-After as the 503s: a tenant's rejected submissions would otherwise
+// resynchronize into a retry stampede exactly like shed load does.
+func quotaResponse(msg string) response {
+	return response{status: http.StatusTooManyRequests, retryAfter: true,
+		body: renderError(ErrorDetail{Code: codeQuotaExhausted, Message: msg})}
+}
+
+// notFoundResponse is the enveloped 404.
+func notFoundResponse(msg string) response {
+	return response{status: http.StatusNotFound,
+		body: renderError(ErrorDetail{Code: codeNotFound, Message: msg})}
+}
+
+// deadlineResponse maps a context error at/inside execution to a response:
+// an expired deadline is 504, a client cancellation is the nonstandard 499
+// (the client is gone; the status is for logs and metrics only).
+func deadlineResponse(err error) response {
+	if errors.Is(err, context.Canceled) {
+		return errorResponse(499, errors.New("client canceled request"))
+	}
+	return errorResponse(http.StatusGatewayTimeout, errors.New("deadline exceeded"))
+}
+
+// handleNotFound is the mux catch-all: any path no route claims gets the
+// enveloped 404 instead of net/http's plain-text default.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.write(w, notFoundResponse("no such endpoint: "+r.URL.Path))
+}
+
+// methodNotAllowed returns a handler for a known path hit with the wrong
+// method: the enveloped 405 plus the Allow header. Registering it on the
+// method-less pattern gives the method-specific registrations precedence,
+// so it only fires for the leftovers.
+func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		s.write(w, response{status: http.StatusMethodNotAllowed,
+			body: renderError(ErrorDetail{Code: codeMethodNotAllowed,
+				Message: r.Method + " not allowed (allow: " + allow + ")"})})
+	}
+}

@@ -1,0 +1,644 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pimnet/internal/store"
+)
+
+// submitJob posts one job request and returns the decoded 202 view.
+func submitJob(t *testing.T, url, kind, tenant, payload string) JobView {
+	t.Helper()
+	body := fmt.Sprintf(`{"kind": %q, "tenant": %q, "request": %s}`, kind, tenant, payload)
+	status, _, b := post(t, url+"/v1/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit %s job: status %d, body %s", kind, status, b)
+	}
+	var view JobView
+	if err := json.Unmarshal(b, &view); err != nil {
+		t.Fatalf("submit %s job: bad view %s: %v", kind, b, err)
+	}
+	if view.ID == "" || view.Status == "" {
+		t.Fatalf("submit %s job: incomplete view %+v", kind, view)
+	}
+	return view
+}
+
+// waitJob polls a job until it reaches a terminal state and returns the
+// final view.
+func waitJob(t *testing.T, url, id string) JobView {
+	t.Helper()
+	var view JobView
+	waitUntil(t, "job "+id+" to finish", func() bool {
+		status, b := get(t, url+"/v1/jobs/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("poll %s: status %d, body %s", id, status, b)
+		}
+		if err := json.Unmarshal(b, &view); err != nil {
+			t.Fatalf("poll %s: %v", id, err)
+		}
+		switch view.Status {
+		case jobDone, jobFailed, jobInterrupted:
+			return true
+		}
+		return false
+	})
+	return view
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// openSSE connects to a job's event stream and returns a channel of parsed
+// events (closed when the stream ends) plus a cancel func that drops the
+// client connection.
+func openSSE(t *testing.T, url, id string) (<-chan sseEvent, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatalf("open SSE for %s: %v", id, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("open SSE for %s: status %d", id, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("SSE content type %q", ct)
+	}
+	events := make(chan sseEvent, 64)
+	go func() {
+		defer close(events)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		var cur sseEvent
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				cur.name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				cur.data = []byte(strings.TrimPrefix(line, "data: "))
+			case line == "":
+				if cur.name != "" {
+					events <- cur
+				}
+				cur = sseEvent{}
+			}
+		}
+	}()
+	return events, cancel
+}
+
+// nextSSE receives one event or fails the test after a deadline.
+func nextSSE(t *testing.T, events <-chan sseEvent) (sseEvent, bool) {
+	t.Helper()
+	select {
+	case ev, ok := <-events:
+		return ev, ok
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for an SSE event")
+		return sseEvent{}, false
+	}
+}
+
+// stripStats removes the wall-clock "stats" member from a sweep response
+// body, leaving only the deterministic section for byte comparison.
+func stripStats(t *testing.T, body []byte) map[string]string {
+	t.Helper()
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(body, &fields); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	delete(fields, "stats")
+	out := make(map[string]string, len(fields))
+	for k, v := range fields {
+		out[k] = string(v)
+	}
+	return out
+}
+
+// TestJobSimulateByteIdentity: a finished simulate job's result bytes are
+// identical to the synchronous endpoint's for the same payload, and result
+// fetches are idempotent.
+func TestJobSimulateByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	payload := `{"pattern": "allreduce", "dpus": 64, "bytes_per_node": 4096}`
+
+	status, _, syncBody := post(t, ts.URL+"/v1/simulate", payload)
+	if status != http.StatusOK {
+		t.Fatalf("sync simulate: %d %s", status, syncBody)
+	}
+
+	view := submitJob(t, ts.URL, "simulate", "", payload)
+	if view.Kind != "simulate" || view.Pool != "default" || view.PointsTotal != 1 {
+		t.Fatalf("submit view %+v", view)
+	}
+	final := waitJob(t, ts.URL, view.ID)
+	if final.Status != jobDone || final.ResultStatus != http.StatusOK {
+		t.Fatalf("final view %+v", final)
+	}
+	if final.PointsDone != final.PointsTotal {
+		t.Fatalf("done %d != total %d", final.PointsDone, final.PointsTotal)
+	}
+
+	rs1, rb1 := get(t, ts.URL+"/v1/jobs/"+view.ID+"/result")
+	rs2, rb2 := get(t, ts.URL+"/v1/jobs/"+view.ID+"/result")
+	if rs1 != http.StatusOK || rs2 != http.StatusOK {
+		t.Fatalf("result statuses %d, %d", rs1, rs2)
+	}
+	if string(rb1) != string(syncBody) {
+		t.Fatalf("job result diverges from sync:\njob:  %s\nsync: %s", rb1, syncBody)
+	}
+	if string(rb1) != string(rb2) {
+		t.Fatal("duplicate result fetches diverged")
+	}
+}
+
+// TestJobSweepByteIdentity: sweep and noc_sweep job results match the
+// synchronous endpoints byte for byte outside the wall-clock stats member.
+func TestJobSweepByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		kind, endpoint, payload string
+	}{
+		{"sweep", "/v1/sweep",
+			`{"pattern": "allreduce", "dpus": [8, 64], "bytes_per_node": [4096, 16384]}`},
+		{"noc_sweep", "/v1/noc/sweep",
+			`{"ranks": 2, "chips": 4, "banks": 8, "patterns": ["hotspot", "tornado"], "steps": 2}`},
+	}
+	for _, tc := range cases {
+		status, _, syncBody := post(t, ts.URL+tc.endpoint, tc.payload)
+		if status != http.StatusOK {
+			t.Fatalf("%s sync: %d %s", tc.kind, status, syncBody)
+		}
+		view := submitJob(t, ts.URL, tc.kind, "", tc.payload)
+		final := waitJob(t, ts.URL, view.ID)
+		if final.Status != jobDone {
+			t.Fatalf("%s job: final %+v", tc.kind, final)
+		}
+		rs, rb := get(t, ts.URL+"/v1/jobs/"+view.ID+"/result")
+		if rs != http.StatusOK {
+			t.Fatalf("%s result: %d %s", tc.kind, rs, rb)
+		}
+		want, got := stripStats(t, syncBody), stripStats(t, rb)
+		if len(want) != len(got) {
+			t.Fatalf("%s: field sets differ: sync %d, job %d", tc.kind, len(want), len(got))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("%s: field %q diverges:\njob:  %s\nsync: %s", tc.kind, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestJobHyphenatedKindAlias: "noc-sweep" is accepted and normalized.
+func TestJobHyphenatedKindAlias(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	view := submitJob(t, ts.URL, "noc-sweep", "",
+		`{"ranks": 2, "chips": 2, "banks": 4, "patterns": ["uniform"], "steps": 1}`)
+	if view.Kind != "noc_sweep" {
+		t.Fatalf("kind %q, want noc_sweep", view.Kind)
+	}
+	if final := waitJob(t, ts.URL, view.ID); final.Status != jobDone {
+		t.Fatalf("final %+v", final)
+	}
+}
+
+// TestJobSubmitRejections: malformed submissions get the structured 400
+// envelope, and unknown IDs the 404 envelope — on every job route.
+func TestJobSubmitRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"unknown kind", `{"kind": "explode", "request": {"pattern": "allreduce", "dpus": 8, "bytes_per_node": 64}}`},
+		{"missing request", `{"kind": "simulate"}`},
+		{"invalid payload", `{"kind": "simulate", "request": {"pattern": "no-such-pattern", "dpus": 8, "bytes_per_node": 64}}`},
+		{"not json", `{{{`},
+	} {
+		status, _, b := post(t, ts.URL+"/v1/jobs", tc.body)
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, body %s", tc.name, status, b)
+		}
+		var wire errorEnvelope
+		if err := json.Unmarshal(b, &wire); err != nil || wire.Error.Code != codeBadRequest || wire.Error.Message == "" {
+			t.Fatalf("%s: not a structured envelope: %s (%v)", tc.name, b, err)
+		}
+	}
+
+	for _, path := range []string{"/v1/jobs/j-999999", "/v1/jobs/j-999999/result", "/v1/jobs/j-999999/events"} {
+		status, b := get(t, ts.URL+path)
+		if status != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, body %s", path, status, b)
+		}
+		var wire errorEnvelope
+		if err := json.Unmarshal(b, &wire); err != nil || wire.Error.Code != codeNotFound {
+			t.Fatalf("GET %s: not a 404 envelope: %s (%v)", path, b, err)
+		}
+	}
+}
+
+// TestJobResultBeforeDone: fetching an unfinished job's result answers 409
+// with the not_ready envelope; the job still completes normally.
+func TestJobResultBeforeDone(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	release := make(chan struct{})
+	s.testHookExecute = func() { <-release }
+
+	view := submitJob(t, ts.URL, "simulate", "",
+		`{"pattern": "allreduce", "dpus": 8, "bytes_per_node": 64}`)
+	status, b := get(t, ts.URL+"/v1/jobs/"+view.ID+"/result")
+	if status != http.StatusConflict {
+		t.Fatalf("premature result fetch: %d %s", status, b)
+	}
+	var wire errorEnvelope
+	if err := json.Unmarshal(b, &wire); err != nil || wire.Error.Code != codeNotReady {
+		t.Fatalf("not a 409 envelope: %s (%v)", b, err)
+	}
+
+	close(release)
+	if final := waitJob(t, ts.URL, view.ID); final.Status != jobDone {
+		t.Fatalf("final %+v", final)
+	}
+}
+
+// TestJobFailedResultReplay: a job whose execution fails stores the error
+// response and replays it verbatim — byte-identical to what the synchronous
+// endpoint answered for the same failure.
+func TestJobFailedResultReplay(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.testHookExecute = func() { panic("boom") }
+	payload := `{"pattern": "allreduce", "dpus": 8, "bytes_per_node": 64}`
+
+	status, _, syncBody := post(t, ts.URL+"/v1/simulate", payload)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("sync: %d %s", status, syncBody)
+	}
+
+	view := submitJob(t, ts.URL, "simulate", "", payload)
+	final := waitJob(t, ts.URL, view.ID)
+	if final.Status != jobFailed || final.ResultStatus != http.StatusInternalServerError {
+		t.Fatalf("final %+v", final)
+	}
+	if final.Error == nil || final.Error.Code != codeInternal {
+		t.Fatalf("failed job view carries no error detail: %+v", final)
+	}
+	rs, rb := get(t, ts.URL+"/v1/jobs/"+view.ID+"/result")
+	if rs != http.StatusInternalServerError {
+		t.Fatalf("result replay: %d %s", rs, rb)
+	}
+	if string(rb) != string(syncBody) {
+		t.Fatalf("failed job result diverges from sync:\njob:  %s\nsync: %s", rb, syncBody)
+	}
+}
+
+// TestJobFairShareNoStarvation: a tenant submitting 10x the load cannot
+// starve a light tenant. DRR serves the pools in rotation, so the light
+// tenant's two jobs finish within the first handful of completions despite
+// twenty heavy jobs ahead of them in arrival order — bounded spread, no
+// starvation.
+func TestJobFairShareNoStarvation(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		MaxJobs: 1,
+		// Heavy's quota of 2 also sizes its backlog bound (16x quota), so
+		// all twenty submissions are admitted rather than shed.
+		TenantQuotas: map[string]int{"heavy": 2, "light": 1},
+	})
+	release := make(chan struct{})
+	s.testHookExecute = func() { <-release }
+	payload := func(bytes int) string {
+		return fmt.Sprintf(`{"pattern": "allreduce", "dpus": 8, "bytes_per_node": %d}`, bytes)
+	}
+
+	const heavyN, lightN = 20, 2
+	heavy := make([]string, 0, heavyN)
+	for i := 0; i < heavyN; i++ {
+		heavy = append(heavy, submitJob(t, ts.URL, "simulate", "heavy", payload(64*(i+1))).ID)
+	}
+	light := make([]string, 0, lightN)
+	for i := 0; i < lightN; i++ {
+		light = append(light, submitJob(t, ts.URL, "simulate", "light", payload(64*(heavyN+i+1))).ID)
+	}
+
+	close(release)
+	for _, id := range append(append([]string{}, heavy...), light...) {
+		if final := waitJob(t, ts.URL, id); final.Status != jobDone {
+			t.Fatalf("job %s: final %+v", id, final)
+		}
+	}
+
+	// Completion ordinals (1-based finish sequence) under the manager lock.
+	finSeq := func(id string) uint64 {
+		s.jobs.mu.Lock()
+		defer s.jobs.mu.Unlock()
+		return s.jobs.jobs[id].finSeq
+	}
+	for _, id := range light {
+		if seq := finSeq(id); seq > 6 {
+			t.Errorf("light job %s finished %d-th of %d — starved by the heavy tenant",
+				id, seq, heavyN+lightN)
+		}
+	}
+	// Bounded spread: the light tenant's jobs finish within a few rotations
+	// of each other.
+	if d := int64(finSeq(light[1])) - int64(finSeq(light[0])); d < 0 || d > 4 {
+		t.Errorf("light completion spread %d, want within 4 rotations", d)
+	}
+}
+
+// TestJobZeroQuotaTenant: quota 0 shuts a tenant out with 429 + Retry-After
+// and counts the rejection against its pool.
+func TestJobZeroQuotaTenant(t *testing.T) {
+	s, ts := newTestServer(t, Config{TenantQuotas: map[string]int{"blocked": 0}})
+	status, hdr, b := post(t, ts.URL+"/v1/jobs",
+		`{"kind": "simulate", "tenant": "blocked", "request": {"pattern": "allreduce", "dpus": 8, "bytes_per_node": 64}}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status %d, body %s", status, b)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var wire errorEnvelope
+	if err := json.Unmarshal(b, &wire); err != nil || wire.Error.Code != codeQuotaExhausted {
+		t.Fatalf("not a quota envelope: %s (%v)", b, err)
+	}
+	snap := s.jobs.snapshot()
+	tc := snap.Tenants["blocked"]
+	if tc.Submitted != 1 || tc.Rejected != 1 || tc.Admitted != 0 {
+		t.Fatalf("blocked tenant counters %+v", tc)
+	}
+}
+
+// TestJobUnknownTenantSharesDefaultPool: tenants without a configured quota
+// land in the shared default pool; configured tenants get their own.
+func TestJobUnknownTenantSharesDefaultPool(t *testing.T) {
+	_, ts := newTestServer(t, Config{TenantQuotas: map[string]int{"acme": 2}})
+	payload := `{"pattern": "allreduce", "dpus": 8, "bytes_per_node": 64}`
+	if v := submitJob(t, ts.URL, "simulate", "nobody", payload); v.Pool != "default" || v.Tenant != "nobody" {
+		t.Fatalf("unknown tenant view %+v", v)
+	}
+	if v := submitJob(t, ts.URL, "simulate", "acme", payload); v.Pool != "acme" {
+		t.Fatalf("configured tenant view %+v", v)
+	}
+}
+
+// TestJobSSEStream: the event stream opens with a status snapshot, emits
+// monotone progress, and terminates with a done event carrying the final
+// view.
+func TestJobSSEStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	release := make(chan struct{})
+	s.testHookExecute = func() { <-release }
+
+	view := submitJob(t, ts.URL, "sweep", "",
+		`{"pattern": "allreduce", "dpus": [8, 16], "bytes_per_node": [64, 128, 256], "workers": 1}`)
+	if view.PointsTotal != 6 {
+		t.Fatalf("total %d, want 6", view.PointsTotal)
+	}
+	events, cancel := openSSE(t, ts.URL, view.ID)
+	defer cancel()
+
+	first, ok := nextSSE(t, events)
+	if !ok || first.name != "status" {
+		t.Fatalf("first event %q, want status", first.name)
+	}
+	var status JobView
+	if err := json.Unmarshal(first.data, &status); err != nil || status.ID != view.ID {
+		t.Fatalf("status event %s (%v)", first.data, err)
+	}
+
+	close(release)
+	lastDone, progressSeen := 0, 0
+	for {
+		ev, ok := nextSSE(t, events)
+		if !ok {
+			t.Fatal("stream closed without a done event")
+		}
+		if ev.name == "progress" {
+			var p sseProgress
+			if err := json.Unmarshal(ev.data, &p); err != nil {
+				t.Fatalf("progress event %s: %v", ev.data, err)
+			}
+			if p.Done <= lastDone || p.Done > p.Total || p.Total != 6 {
+				t.Fatalf("non-monotone progress: done %d after %d (total %d)", p.Done, lastDone, p.Total)
+			}
+			lastDone = p.Done
+			progressSeen++
+			continue
+		}
+		if ev.name != "done" {
+			t.Fatalf("unexpected event %q", ev.name)
+		}
+		var final JobView
+		if err := json.Unmarshal(ev.data, &final); err != nil {
+			t.Fatalf("done event %s: %v", ev.data, err)
+		}
+		if final.Status != jobDone || final.PointsDone != 6 {
+			t.Fatalf("done view %+v", final)
+		}
+		break
+	}
+	if progressSeen == 0 {
+		t.Error("no progress events before done")
+	}
+	if _, ok := nextSSE(t, events); ok {
+		t.Error("events after done")
+	}
+
+	// Poll-time partial results accumulated alongside the stream.
+	final := waitJob(t, ts.URL, view.ID)
+	if final.ResultStatus != http.StatusOK {
+		t.Fatalf("final %+v", final)
+	}
+}
+
+// TestJobSSEClientDisconnect: dropping the stream mid-execution must not
+// cancel the job — it runs on a server-owned context and completes.
+func TestJobSSEClientDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	release := make(chan struct{})
+	s.testHookExecute = func() { <-release }
+
+	view := submitJob(t, ts.URL, "simulate", "",
+		`{"pattern": "allreduce", "dpus": 8, "bytes_per_node": 64}`)
+	events, cancel := openSSE(t, ts.URL, view.ID)
+	if ev, ok := nextSSE(t, events); !ok || ev.name != "status" {
+		t.Fatalf("first event %+v", ev)
+	}
+	cancel() // client walks away while the job is parked in execution
+	waitUntil(t, "subscriber to unregister", func() bool {
+		s.jobs.mu.Lock()
+		defer s.jobs.mu.Unlock()
+		return len(s.jobs.jobs[view.ID].subs) == 0
+	})
+
+	close(release)
+	if final := waitJob(t, ts.URL, view.ID); final.Status != jobDone {
+		t.Fatalf("job did not survive subscriber disconnect: %+v", final)
+	}
+	if rs, _ := get(t, ts.URL+"/v1/jobs/"+view.ID+"/result"); rs != http.StatusOK {
+		t.Fatalf("result after disconnect: %d", rs)
+	}
+}
+
+// TestJobDrainInterrupts: Shutdown interrupts queued jobs immediately and
+// running jobs at the drain deadline, persists their records into the
+// result store, answers 410 at /result, and refuses new submissions.
+func TestJobDrainInterrupts(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	s, ts := newTestServer(t, Config{MaxJobs: 1, Store: st})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.testHookExecute = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	payload := `{"pattern": "allreduce", "dpus": 8, "bytes_per_node": 64}`
+
+	running := submitJob(t, ts.URL, "simulate", "", payload)
+	<-entered // the first job is parked inside its execution slot
+	queued := submitJob(t, ts.URL, "simulate", "",
+		`{"pattern": "allreduce", "dpus": 8, "bytes_per_node": 128}`)
+
+	sctx, scancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	defer close(release) // let the parked executor unwind after the test
+
+	for _, id := range []string{running.ID, queued.ID} {
+		status, b := get(t, ts.URL+"/v1/jobs/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("status of %s after drain: %d %s", id, status, b)
+		}
+		var view JobView
+		if err := json.Unmarshal(b, &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.Status != jobInterrupted || view.Error == nil || view.Error.Code != codeDraining {
+			t.Fatalf("job %s after drain: %+v", id, view)
+		}
+		rs, rb := get(t, ts.URL+"/v1/jobs/"+id+"/result")
+		if rs != http.StatusGone {
+			t.Fatalf("result of interrupted %s: %d %s", id, rs, rb)
+		}
+		var wire errorEnvelope
+		if err := json.Unmarshal(rb, &wire); err != nil || wire.Error.Code != codeGone {
+			t.Fatalf("interrupted result envelope: %s (%v)", rb, err)
+		}
+		record, ok := st.Get(store.NSResults, jobRecordKey(id))
+		if !ok {
+			t.Fatalf("no interruption record persisted for %s", id)
+		}
+		var persisted JobView
+		if err := json.Unmarshal(record, &persisted); err != nil || persisted.Status != jobInterrupted {
+			t.Fatalf("bad interruption record for %s: %s (%v)", id, record, err)
+		}
+	}
+
+	status, _, b := post(t, ts.URL+"/v1/jobs",
+		fmt.Sprintf(`{"kind": "simulate", "request": %s}`, payload))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("submission during drain: %d %s", status, b)
+	}
+	var wire errorEnvelope
+	if err := json.Unmarshal(b, &wire); err != nil || wire.Error.Code != codeDraining {
+		t.Fatalf("drain envelope: %s (%v)", b, err)
+	}
+}
+
+// TestJobDrainClosesSSEStreams: an open event stream ends with a final
+// status event when the server drains, instead of hanging.
+func TestJobDrainClosesSSEStreams(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxJobs: 1})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.testHookExecute = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	view := submitJob(t, ts.URL, "simulate", "",
+		`{"pattern": "allreduce", "dpus": 8, "bytes_per_node": 64}`)
+	<-entered
+	events, cancel := openSSE(t, ts.URL, view.ID)
+	defer cancel()
+	if ev, ok := nextSSE(t, events); !ok || ev.name != "status" {
+		t.Fatalf("first event %+v", ev)
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	defer close(release)
+
+	ev, ok := nextSSE(t, events)
+	if !ok || ev.name != "status" {
+		t.Fatalf("drain event %+v, want a final status", ev)
+	}
+	if _, ok := nextSSE(t, events); ok {
+		t.Error("stream still open after drain")
+	}
+}
+
+// TestJobBacklogBounds: a pool's queue is bounded at 16x its quota (429)
+// and the global backlog at 64x MaxJobs (503) — submission floods shed
+// instead of growing without bound.
+func TestJobBacklogBounds(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxJobs: 1, TenantQuotas: map[string]int{"t": 1}})
+	release := make(chan struct{})
+	s.testHookExecute = func() { <-release }
+	defer close(release)
+
+	payload := func(i int) string {
+		return fmt.Sprintf(`{"kind": "simulate", "tenant": "t", "request": {"pattern": "allreduce", "dpus": 8, "bytes_per_node": %d}}`, 64*(i+1))
+	}
+	var got429 bool
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	// 1 runs, 16 fill the pool queue, the rest must shed with 429.
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if postQuiet(ts.URL+"/v1/jobs", payload(i)) == http.StatusTooManyRequests {
+				mu.Lock()
+				got429 = true
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if !got429 {
+		t.Error("20 submissions against quota 1 never hit the pool backlog bound")
+	}
+	snap := s.jobs.snapshot()
+	if tc := snap.Tenants["t"]; tc.Rejected == 0 {
+		t.Errorf("tenant counters after flood: %+v", tc)
+	}
+}

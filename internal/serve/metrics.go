@@ -55,6 +55,12 @@ type serverMetrics struct {
 	chunk    atomic.Uint64 // /v1/chunk requests (cluster-mode fan-out)
 	healthz  atomic.Uint64
 	metrics  atomic.Uint64
+	// Job API endpoints.
+	jobSubmit   atomic.Uint64 // POST /v1/jobs
+	jobStatus   atomic.Uint64 // GET /v1/jobs/{id}
+	jobResult   atomic.Uint64 // GET /v1/jobs/{id}/result
+	jobEvents   atomic.Uint64 // GET /v1/jobs/{id}/events (SSE)
+	metricsJSON atomic.Uint64 // GET /metrics.json (deprecated JSON snapshot)
 
 	status4xx atomic.Uint64
 	status5xx atomic.Uint64
@@ -109,6 +115,8 @@ type MetricsSnapshot struct {
 	// Cluster is the coordinator's dispatch/health snapshot (coordinator
 	// mode only; absent on plain daemons and workers).
 	Cluster any `json:"cluster,omitempty"`
+	// Jobs is the async job manager's queue depths and per-tenant counters.
+	Jobs *JobsSnapshot `json:"jobs,omitempty"`
 }
 
 // PlanCacheSnapshot is the wire form of core.CacheStats plus the derived hit
@@ -150,8 +158,13 @@ func (m *serverMetrics) snapshot(gateWaiting int64, cache *core.PlanCache, clust
 			"sweep":     m.sweep.Load(),
 			"noc_sweep": m.nocSweep.Load(),
 			"chunk":     m.chunk.Load(),
-			"healthz":   m.healthz.Load(),
-			"metrics":   m.metrics.Load(),
+			"healthz":      m.healthz.Load(),
+			"metrics":      m.metrics.Load(),
+			"metrics_json": m.metricsJSON.Load(),
+			"jobs":         m.jobSubmit.Load(),
+			"job_status":   m.jobStatus.Load(),
+			"job_result":   m.jobResult.Load(),
+			"job_events":   m.jobEvents.Load(),
 		},
 		Status4xx: m.status4xx.Load(),
 		Status5xx: m.status5xx.Load(),

@@ -148,7 +148,7 @@ func (s *Server) handleNocSweep(w http.ResponseWriter, r *http.Request) {
 	s.met.nocSweep.Add(1)
 	if !s.begin() {
 		s.met.rejected.Add(1)
-		s.write(w, overloadResponse("server is draining"))
+		s.write(w, drainingResponse())
 		return
 	}
 	defer s.inflight.Done()
@@ -161,9 +161,16 @@ func (s *Server) handleNocSweep(w http.ResponseWriter, r *http.Request) {
 		s.write(w, errorResponse(http.StatusBadRequest, err))
 		return
 	}
-	s.write(w, s.executeGated(ctx, func(ctx context.Context) response {
+	s.write(w, s.nocSweepResponse(ctx, req, points))
+}
+
+// nocSweepResponse runs one decoded noc-sweep through admission and
+// execution — the path shared by the synchronous endpoint and the async
+// job executor.
+func (s *Server) nocSweepResponse(ctx context.Context, req NocSweepRequest, points []noc.PatternPoint) response {
+	return s.executeGated(ctx, func(ctx context.Context) response {
 		return s.executeNocSweep(ctx, req, points)
-	}))
+	})
 }
 
 // executeNocSweep fans the grid onto the bounded pattern sweep. NoC points
@@ -174,8 +181,15 @@ func (s *Server) executeNocSweep(ctx context.Context, req NocSweepRequest, point
 	if workers <= 0 || workers > s.cfg.MaxSweepWorkers {
 		workers = s.cfg.MaxSweepWorkers
 	}
-	results, stats, err := noc.SweepPatterns(points,
-		sweep.WithWorkers(workers), sweep.WithContext(ctx))
+	opts := []sweep.Option{sweep.WithWorkers(workers), sweep.WithContext(ctx)}
+	if progress := ProgressFromContext(ctx); progress != nil {
+		// NoC points have no SweepPoint wire form, so job progress carries
+		// counts only (the sweep engine serializes the callback).
+		opts = append(opts, sweep.WithProgress(func(done, total int) {
+			progress(ProgressEvent{Done: done, Total: total, Chunk: -1})
+		}))
+	}
+	results, stats, err := noc.SweepPatterns(points, opts...)
 	if err != nil {
 		if ctx.Err() != nil {
 			return deadlineResponse(ctx.Err())

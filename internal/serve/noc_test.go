@@ -96,7 +96,7 @@ func TestNocSweepRejects(t *testing.T) {
 func TestNocSweepMetrics(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	post(t, ts.URL+"/v1/noc/sweep", `{"ranks":2,"chips":2,"banks":4,"patterns":["tornado"],"steps":1}`)
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

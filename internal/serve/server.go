@@ -35,6 +35,7 @@ import (
 
 	"pimnet/internal/core"
 	"pimnet/internal/store"
+	"pimnet/internal/trace"
 )
 
 // Config parameterizes a Server. The zero value selects production-shaped
@@ -75,9 +76,26 @@ type Config struct {
 	// pass this server's admission gate, so a coordinator sheds load
 	// exactly like a single node.
 	Sweeper SweepRunner
-	// ClusterMetrics, when non-nil, is polled by GET /metrics and embedded
-	// in the snapshot as "cluster" (coordinator mode only).
+	// ClusterMetrics, when non-nil, is polled by GET /metrics.json and
+	// embedded in the snapshot as "cluster" (coordinator mode only).
 	ClusterMetrics func() any
+	// MaxJobs bounds concurrently running async jobs (<=0 selects
+	// MaxInFlight). Queued jobs wait in per-tenant queues scheduled by
+	// deficit round robin; running jobs occupy admission slots like any
+	// other execution.
+	MaxJobs int
+	// JobTTL is how long a finished job's status and result stay fetchable
+	// (<=0 selects 15 minutes). Expired jobs answer 404.
+	JobTTL time.Duration
+	// TenantQuotas maps tenant names to their job quota: the maximum
+	// concurrently running jobs per tenant and the tenant's fair-share
+	// weight. A quota of 0 rejects the tenant outright (429). Tenants not
+	// in the map share the "default" pool, whose quota defaults to MaxJobs
+	// unless the map overrides it.
+	TenantQuotas map[string]int
+	// Tracer, when non-nil, receives job lifecycle events (KindJob*).
+	// Emission is serialized by the job manager, so any tracer works.
+	Tracer trace.Tracer
 }
 
 // SweepRunner executes a validated sweep request end to end. The
@@ -113,6 +131,12 @@ func (c Config) withDefaults() Config {
 	if c.Cache == nil {
 		c.Cache = core.NewPlanCache()
 	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = c.MaxInFlight
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
 	return c
 }
 
@@ -124,6 +148,7 @@ type Server struct {
 	gate    *gate
 	flights flightGroup
 	met     serverMetrics
+	jobs    *jobManager
 	mux     *http.ServeMux
 
 	mu       sync.Mutex
@@ -155,12 +180,28 @@ func New(cfg Config) *Server {
 		s.cache.SetPersistence(store.PlanAdapter{S: cfg.Store})
 	}
 	s.met.start = time.Now()
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("POST /v1/noc/sweep", s.handleNocSweep)
-	s.mux.HandleFunc("POST /v1/chunk", s.handleChunk)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.jobs = newJobManager(s)
+
+	// route registers the handler under its method pattern plus a
+	// method-less fallback on the same path, so a wrong-method hit gets the
+	// enveloped 405 (with Allow) instead of net/http's plain-text default.
+	route := func(method, path string, h http.HandlerFunc) {
+		s.mux.HandleFunc(method+" "+path, h)
+		s.mux.HandleFunc(path, s.methodNotAllowed(method))
+	}
+	route("POST", "/v1/simulate", s.handleSimulate)
+	route("POST", "/v1/sweep", s.handleSweep)
+	route("POST", "/v1/noc/sweep", s.handleNocSweep)
+	route("POST", "/v1/chunk", s.handleChunk)
+	route("POST", "/v1/jobs", s.handleJobSubmit)
+	route("GET", "/v1/jobs/{id}", s.handleJobStatus)
+	route("GET", "/v1/jobs/{id}/result", s.handleJobResult)
+	route("GET", "/v1/jobs/{id}/events", s.handleJobEvents)
+	route("GET", "/healthz", s.handleHealthz)
+	route("GET", "/metrics", s.handleMetricsProm)
+	route("GET", "/metrics.json", s.handleMetricsJSON)
+	// Everything else is an enveloped 404.
+	s.mux.HandleFunc("/", s.handleNotFound)
 	return s
 }
 
@@ -172,25 +213,53 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Shutdown drains the server: new experiment requests are refused with 503
-// while requests already past admission run to completion. It returns nil
-// once every in-flight request has finished, or ctx's error if the drain
-// deadline expires first.
+// Shutdown drains the server: new experiment requests and job submissions
+// are refused with 503 while work already admitted runs to completion.
+// Queued jobs are marked interrupted immediately (they never started, so
+// there is nothing to wait for); running jobs get until ctx's deadline,
+// after which they are cancelled and persisted as interrupted — resubmitting
+// the same payload resumes warm, because every point completed before the
+// interruption is already in the result store. Shutdown returns nil once
+// every in-flight synchronous request has finished and every job has either
+// finished or been interrupted; it returns ctx's error only when
+// synchronous requests are still running at the deadline.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
-	done := make(chan struct{})
+	s.jobs.drain()
+
+	syncDone := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
-		close(done)
+		close(syncDone)
 	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	jobsDone := make(chan struct{})
+	go func() {
+		s.jobs.waitRunning()
+		close(jobsDone)
+	}()
+
+	syncOK, jobsOK := false, false
+	for !syncOK || !jobsOK {
+		select {
+		case <-syncDone:
+			syncOK = true
+			syncDone = nil
+		case <-jobsDone:
+			jobsOK = true
+			jobsDone = nil
+		case <-ctx.Done():
+			if !jobsOK {
+				s.jobs.interruptRunning()
+			}
+			if !syncOK {
+				return ctx.Err()
+			}
+			return nil
+		}
 	}
+	return nil
 }
 
 // begin registers an experiment request with the drain tracker; it reports
@@ -215,28 +284,6 @@ func okResponse(v any) response {
 	return response{status: http.StatusOK, body: body}
 }
 
-// errorResponse renders a structured {"error": ...} body.
-func errorResponse(status int, err error) response {
-	body, _ := json.Marshal(map[string]string{"error": err.Error()})
-	return response{status: status, body: body}
-}
-
-// overloadResponse is the load-shedding 503 with its Retry-After hint.
-func overloadResponse(msg string) response {
-	body, _ := json.Marshal(map[string]string{"error": msg})
-	return response{status: http.StatusServiceUnavailable, body: body, retryAfter: true}
-}
-
-// deadlineResponse maps a context error at/inside execution to a response:
-// an expired deadline is 504, a client cancellation is the nonstandard 499
-// (the client is gone; the status is for logs and metrics only).
-func deadlineResponse(err error) response {
-	if errors.Is(err, context.Canceled) {
-		return errorResponse(499, errors.New("client canceled request"))
-	}
-	return errorResponse(http.StatusGatewayTimeout, errors.New("deadline exceeded"))
-}
-
 // write emits a rendered response and records its status class.
 func (s *Server) write(w http.ResponseWriter, resp response) {
 	s.met.recordStatus(resp.status)
@@ -259,7 +306,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.met.simulate.Add(1)
 	if !s.begin() {
 		s.met.rejected.Add(1)
-		s.write(w, overloadResponse("server is draining"))
+		s.write(w, drainingResponse())
 		return
 	}
 	defer s.inflight.Done()
@@ -272,17 +319,24 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.write(w, errorResponse(http.StatusBadRequest, err))
 		return
 	}
+	s.write(w, s.simulateResponse(ctx, echo, pt))
+}
 
+// simulateResponse runs one decoded simulate point through the full
+// pipeline — coalesce -> store -> admit -> execute — and returns the
+// rendered response. It is the single execution path shared by the
+// synchronous endpoint and the async job executor, which is what makes a
+// finished simulate job's bytes identical to /v1/simulate's by
+// construction.
+func (s *Server) simulateResponse(ctx context.Context, echo SimulateRequest, pt simPoint) response {
 	f, leader := s.flights.join(pt.key())
 	if !leader {
 		s.met.coalesced.Add(1)
 		resp, err := f.wait(ctx)
 		if err != nil {
-			s.write(w, deadlineResponse(err))
-			return
+			return deadlineResponse(err)
 		}
-		s.write(w, resp)
-		return
+		return resp
 	}
 	// The leader consults the result store before taking an admission slot:
 	// a warm hit is a disk read, not a simulation, so it must not compete
@@ -294,15 +348,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			s.testHookStoreHit()
 		}
 		s.flights.finish(pt.key(), f, resp)
-		s.write(w, resp)
-		return
+		return resp
 	}
 	resp := s.executeGated(ctx, func(ctx context.Context) response {
 		return s.executeSimulate(ctx, echo, pt)
 	})
 	s.storePutSimulate(pt, resp)
 	s.flights.finish(pt.key(), f, resp)
-	s.write(w, resp)
+	return resp
 }
 
 // handleSweep is the batch endpoint. Sweeps are not coalesced — their
@@ -313,7 +366,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.met.sweep.Add(1)
 	if !s.begin() {
 		s.met.rejected.Add(1)
-		s.write(w, overloadResponse("server is draining"))
+		s.write(w, drainingResponse())
 		return
 	}
 	defer s.inflight.Done()
@@ -326,15 +379,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.write(w, errorResponse(http.StatusBadRequest, err))
 		return
 	}
+	s.write(w, s.sweepResponse(ctx, req, points))
+}
+
+// sweepResponse runs one decoded sweep through admission and execution
+// (local engine or delegated coordinator) — the path shared by the
+// synchronous endpoint and the async job executor.
+func (s *Server) sweepResponse(ctx context.Context, req SweepRequest, points []simPoint) response {
 	if s.cfg.Sweeper != nil {
-		s.write(w, s.executeGated(ctx, func(ctx context.Context) response {
+		return s.executeGated(ctx, func(ctx context.Context) response {
 			return s.executeDelegatedSweep(ctx, req)
-		}))
-		return
+		})
 	}
-	s.write(w, s.executeGated(ctx, func(ctx context.Context) response {
+	return s.executeGated(ctx, func(ctx context.Context) response {
 		return s.executeSweep(ctx, req, points)
-	}))
+	})
 }
 
 // executeDelegatedSweep hands a validated sweep to the configured
@@ -350,7 +409,7 @@ func (s *Server) executeDelegatedSweep(ctx context.Context, req SweepRequest) re
 		}
 		var pe *PointError
 		if errors.As(err, &pe) {
-			return errorResponse(http.StatusUnprocessableEntity, err)
+			return pointErrorResponse(pe, false)
 		}
 		return errorResponse(http.StatusBadGateway, err)
 	}
@@ -363,7 +422,14 @@ func (s *Server) executeGated(ctx context.Context, fn func(context.Context) resp
 	start := time.Now()
 	defer func() { s.met.latency.observe(time.Since(start)) }()
 
-	if err := s.gate.acquire(ctx); err != nil {
+	// Async jobs wait for a slot instead of shedding: the job scheduler
+	// already bounds how many run, so fail-fast saturation would only turn
+	// an admitted job into a spurious 503 result.
+	if gateWaitFromContext(ctx) {
+		if err := s.gate.acquireWait(ctx); err != nil {
+			return deadlineResponse(err)
+		}
+	} else if err := s.gate.acquire(ctx); err != nil {
 		if errors.Is(err, errSaturated) {
 			s.met.rejected.Add(1)
 			return overloadResponse("admission queue saturated")
@@ -404,12 +470,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.write(w, response{status: status, body: body})
 }
 
-// handleMetrics serves the observability snapshot.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.met.metrics.Add(1)
+// snapshotMetrics assembles the full observability snapshot (shared by the
+// Prometheus and legacy JSON renderings, so the two can never disagree).
+func (s *Server) snapshotMetrics() MetricsSnapshot {
 	var cluster any
 	if s.cfg.ClusterMetrics != nil {
 		cluster = s.cfg.ClusterMetrics()
 	}
-	s.write(w, okResponse(s.met.snapshot(s.gate.waiting(), s.cache, cluster, s.storeSnapshot())))
+	snap := s.met.snapshot(s.gate.waiting(), s.cache, cluster, s.storeSnapshot())
+	snap.Jobs = s.jobs.snapshot()
+	return snap
+}
+
+// handleMetricsProm serves GET /metrics as Prometheus text exposition.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	s.met.metrics.Add(1)
+	s.writeProm(w, s.snapshotMetrics())
+}
+
+// handleMetricsJSON serves the legacy JSON snapshot at GET /metrics.json.
+// Deprecated: kept for one release; scrape /metrics instead.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	s.met.metricsJSON.Add(1)
+	s.write(w, okResponse(s.snapshotMetrics()))
 }

@@ -128,7 +128,7 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 	}
 
 	// The coalesce counter is surfaced through /metrics.
-	status, mb := get(t, ts.URL+"/metrics")
+	status, mb := get(t, ts.URL+"/metrics.json")
 	if status != http.StatusOK {
 		t.Fatalf("/metrics status %d", status)
 	}
@@ -389,11 +389,12 @@ func TestDecodeRejections(t *testing.T) {
 			if status != http.StatusBadRequest {
 				t.Fatalf("status %d, body %s", status, body)
 			}
-			var e struct {
-				Error string `json:"error"`
-			}
-			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			var e errorEnvelope
+			if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
 				t.Fatalf("not a structured error: %s", body)
+			}
+			if e.Error.Code != "bad_request" {
+				t.Fatalf("error code %q, want bad_request (%s)", e.Error.Code, body)
 			}
 		})
 	}
@@ -614,7 +615,7 @@ func TestMetricsAndHealth(t *testing.T) {
 	post(t, ts.URL+"/v1/sweep", `{"pattern": "allreduce", "dpus": [64], "bytes_per_node": [4096, 8192]}`)
 	post(t, ts.URL+"/v1/simulate", `{"pattern": "bogus"}`)
 
-	status, body = get(t, ts.URL+"/metrics")
+	status, body = get(t, ts.URL+"/metrics.json")
 	if status != http.StatusOK {
 		t.Fatalf("metrics: %d", status)
 	}

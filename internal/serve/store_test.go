@@ -390,7 +390,7 @@ func TestMetricsStoreSection(t *testing.T) {
 	post(t, ts.URL+"/v1/simulate", coalesceBody)
 	post(t, ts.URL+"/v1/simulate", coalesceBody) // warm hit
 
-	code, body := get(t, ts.URL+"/metrics")
+	code, body := get(t, ts.URL+"/metrics.json")
 	if code != http.StatusOK {
 		t.Fatalf("metrics: %d %s", code, body)
 	}
@@ -413,7 +413,7 @@ func TestMetricsStoreSection(t *testing.T) {
 
 	// Without a store the section is absent, not zeroed.
 	_, tsPlain := newTestServer(t, Config{})
-	_, body = get(t, tsPlain.URL+"/metrics")
+	_, body = get(t, tsPlain.URL+"/metrics.json")
 	if bytes.Contains(body, []byte(`"store"`)) {
 		t.Fatalf("storeless daemon reports a store section: %s", body)
 	}

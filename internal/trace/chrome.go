@@ -73,6 +73,8 @@ func track(ev Event) string {
 		return "recovery"
 	case KindChunkDispatch, KindChunkRetry, KindChunkHedge, KindChunkLocal:
 		return "cluster"
+	case KindJobQueued, KindJobStart, KindJobFinish:
+		return "jobs"
 	default:
 		return "misc"
 	}

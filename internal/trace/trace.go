@@ -77,6 +77,18 @@ const (
 	// coordinator after remote attempts were exhausted or no worker was
 	// healthy (span).
 	KindChunkLocal
+	// Job kinds are emitted by the serving tier's async job manager. Like
+	// the chunk kinds, their Start/End are wall-clock nanoseconds (since
+	// the server started); Name is the job ID.
+	//
+	// KindJobQueued marks a job's admission into its tenant queue (point;
+	// Seq is the job's cost in grid points).
+	KindJobQueued
+	// KindJobStart marks the scheduler dispatching a job (point).
+	KindJobStart
+	// KindJobFinish closes a job: Start..End is its running span and Seq
+	// its completion ordinal.
+	KindJobFinish
 	numKinds
 )
 
@@ -84,6 +96,7 @@ var kindNames = [numKinds]string{
 	"phase-start", "phase-end", "link-busy", "sync-tree", "mem-stage",
 	"host-stage", "engine-step", "fault-detected", "retry", "reroute",
 	"fallback", "chunk-dispatch", "chunk-retry", "chunk-hedge", "chunk-local",
+	"job-queued", "job-start", "job-finish",
 }
 
 // String returns the kind's short name.
@@ -100,7 +113,7 @@ func (k Kind) Span() bool {
 	switch k {
 	case KindPhaseEnd, KindLinkBusy, KindSyncTree, KindMemStage,
 		KindHostStage, KindRetry, KindReroute,
-		KindChunkDispatch, KindChunkRetry, KindChunkLocal:
+		KindChunkDispatch, KindChunkRetry, KindChunkLocal, KindJobFinish:
 		return true
 	default:
 		return false

@@ -53,7 +53,7 @@ func TestFacadeMachineAndSuite(t *testing.T) {
 	if len(suite) != 8 {
 		t.Fatalf("suite = %d workloads", len(suite))
 	}
-	b, _ := pimnet.NewBaseline(sys)
+	b, _ := pimnet.NewBackend(pimnet.Baseline, sys)
 	p, _ := pimnet.NewPIMnet(sys)
 	mb, err := pimnet.NewMachine(sys, b)
 	if err != nil {

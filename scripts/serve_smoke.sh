@@ -1,8 +1,9 @@
 #!/bin/sh
 # Serve smoke test: boot pimnetd on an ephemeral port, exercise every
-# endpoint once, then prove the SIGTERM drain exits cleanly. This is the
-# end-to-end check that the daemon wiring (listener, handlers, shutdown
-# path) works outside the Go test harness; `make check` runs it.
+# endpoint once — synchronous, async jobs with SSE, and both metrics
+# renderings — then prove the SIGTERM drain exits cleanly. This is the
+# end-to-end check that the daemon wiring (listener, handlers, job layer,
+# shutdown path) works outside the Go test harness; `make check` runs it.
 set -eu
 
 workdir=$(mktemp -d /tmp/pimnet-serve-smoke.XXXXXX)
@@ -21,8 +22,11 @@ fail() {
 }
 
 go build -o "$workdir/pimnetd" ./cmd/pimnetd
+go build -o "$workdir/promcheck" ./cmd/promcheck
 
-"$workdir/pimnetd" -addr 127.0.0.1:0 -grace 10s > "$workdir/pimnetd.log" 2>&1 &
+"$workdir/pimnetd" -addr 127.0.0.1:0 -grace 10s \
+    -store-dir "$workdir/store" -tenant-quotas 'acme=2' \
+    > "$workdir/pimnetd.log" 2>&1 &
 daemon_pid=$!
 
 # The daemon prints its resolved ephemeral address on startup.
@@ -55,13 +59,86 @@ curl -fsS -X POST "$base/v1/noc/sweep" \
     | grep -q '"pattern":"hotspot"' \
     || fail "noc sweep returned no pattern points"
 
-curl -fsS "$base/metrics" | grep -q '"plan_cache":' \
-    || fail "metrics missing plan-cache stats"
+# --- Async job layer -------------------------------------------------------
+
+# A simulate job's result must be byte-identical to the synchronous
+# endpoint's response for the same payload (simulate bodies are fully
+# deterministic).
+sim_payload='{"pattern": "allreduce", "bytes_per_node": 4096, "dpus": 64}'
+curl -fsS -X POST "$base/v1/simulate" -d "$sim_payload" > "$workdir/sync-sim.json" \
+    || fail "sync simulate for byte comparison"
+job_id=$(curl -fsS -X POST "$base/v1/jobs" \
+    -d "{\"kind\": \"simulate\", \"tenant\": \"acme\", \"request\": $sim_payload}" \
+    | sed -n 's|.*"id":"\([^"]*\)".*|\1|p')
+[ -n "$job_id" ] || fail "job submission returned no id"
+
+i=0
+while [ $i -lt 100 ]; do
+    state=$(curl -fsS "$base/v1/jobs/$job_id" | sed -n 's|.*"status":"\([^"]*\)".*|\1|p')
+    [ "$state" = "done" ] && break
+    [ "$state" = "failed" ] && fail "simulate job failed"
+    i=$((i + 1))
+    sleep 0.1
+done
+[ "$state" = "done" ] || fail "simulate job never finished (last state: $state)"
+
+curl -fsS "$base/v1/jobs/$job_id/result" > "$workdir/job-sim.json" \
+    || fail "job result fetch"
+cmp -s "$workdir/sync-sim.json" "$workdir/job-sim.json" \
+    || fail "simulate job result diverges from synchronous bytes"
+
+# A sweep job, followed live over SSE: the stream must carry status,
+# progress, and done events, and the result (minus the wall-clock stats
+# member) must match the synchronous sweep byte for byte.
+sweep_payload='{"pattern": "allreduce", "dpus": [8, 64], "bytes_per_node": [4096, 16384]}'
+curl -fsS -X POST "$base/v1/sweep" -d "$sweep_payload" > "$workdir/sync-sweep.json" \
+    || fail "sync sweep for byte comparison"
+sweep_job=$(curl -fsS -X POST "$base/v1/jobs" \
+    -d "{\"kind\": \"sweep\", \"request\": $sweep_payload}" \
+    | sed -n 's|.*"id":"\([^"]*\)".*|\1|p')
+[ -n "$sweep_job" ] || fail "sweep job submission returned no id"
+
+curl -sN --max-time 30 "$base/v1/jobs/$sweep_job/events" > "$workdir/sse.log" || true
+grep -q '^event: status$' "$workdir/sse.log" || fail "SSE stream carried no status event"
+grep -q '^event: done$' "$workdir/sse.log" || fail "SSE stream carried no done event"
+grep -q '"status":"done"' "$workdir/sse.log" || fail "SSE done event does not report done"
+
+curl -fsS "$base/v1/jobs/$sweep_job/result" > "$workdir/job-sweep.json" \
+    || fail "sweep job result fetch"
+# stats is wall-clock metadata and serializes last; everything before it is
+# the deterministic section.
+sed 's/,"stats":.*//' "$workdir/sync-sweep.json" > "$workdir/sync-sweep.det"
+sed 's/,"stats":.*//' "$workdir/job-sweep.json" > "$workdir/job-sweep.det"
+cmp -s "$workdir/sync-sweep.det" "$workdir/job-sweep.det" \
+    || fail "sweep job result diverges from synchronous bytes (stats excluded)"
+
+# A zero-length poll of an unknown job must be an enveloped 404.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/jobs/j-999999")
+[ "$code" = "404" ] || fail "unknown job got $code, want 404"
+
+# --- Metrics ---------------------------------------------------------------
+
+# /metrics must be valid Prometheus exposition carrying the request,
+# plan-cache, coalescing, store, job, and per-tenant families.
+curl -fsS "$base/metrics" > "$workdir/metrics.prom" || fail "metrics fetch"
+"$workdir/promcheck" -require \
+    pimnetd_requests_total,pimnetd_responses_total,pimnetd_rejected_total,pimnetd_coalesced_total,pimnetd_request_duration_seconds,pimnetd_plan_cache_hits_total,pimnetd_plan_cache_hit_rate,pimnetd_sweep_points_total,pimnetd_store_hits_total,pimnetd_store_entries,pimnetd_jobs_queued,pimnetd_jobs_running,pimnetd_jobs_tracked,pimnetd_tenant_jobs_submitted_total,pimnetd_tenant_jobs_finished_total \
+    "$workdir/metrics.prom" \
+    || fail "metrics is not valid Prometheus exposition (see promcheck output)"
+
+# The deprecated JSON snapshot stays at /metrics.json for one release.
+curl -fsS "$base/metrics.json" | grep -q '"plan_cache":' \
+    || fail "metrics.json missing plan-cache stats"
+curl -fsS "$base/metrics.json" | grep -q '"jobs":' \
+    || fail "metrics.json missing jobs section"
 
 # A malformed request must be a structured 400, not a connection error.
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/simulate" \
     -d '{"pattern": "bogus"}')
 [ "$code" = "400" ] || fail "malformed request got $code, want 400"
+curl -s -X POST "$base/v1/simulate" -d '{"pattern": "bogus"}' \
+    | grep -q '"error":{"code":"bad_request"' \
+    || fail "malformed request body is not the unified error envelope"
 
 # SIGTERM must drain and exit 0.
 kill -TERM "$daemon_pid"
