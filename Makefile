@@ -9,14 +9,15 @@ GO ?= go
 COVER_PKGS = ./internal/core ./internal/sweep
 COVER_FLOOR = 80
 
-.PHONY: build test vet check cover fuzz bench benchcmp profile profile-noc golden trace-smoke serve-smoke cluster-smoke store-smoke
+.PHONY: build test vet check cover fuzz bench benchcmp profile profile-noc golden trace-smoke serve-smoke cluster-smoke store-smoke crossover-smoke
 
 # Benchmarks gated by the regression check (make benchcmp). Engine covers the
 # event queue, Execute covers the plan-replay hot path, Store covers the
 # persistent store's cold-miss / warm-hit / write paths on the serving tier,
-# Noc covers the flat packet simulator at 256 and 2560 nodes.
-GATED_BENCH = Engine|Execute|Store|Noc
-GATED_PKGS = ./internal/sim ./internal/core ./internal/store ./internal/noc
+# Noc covers the flat packet simulator at 256 and 2560 nodes, Cxl covers the
+# CXL-PIM backend's decompose + intra-phase replay path.
+GATED_BENCH = Engine|Execute|Store|Noc|Cxl
+GATED_PKGS = ./internal/sim ./internal/core ./internal/store ./internal/noc ./internal/cxlpim
 
 build:
 	$(GO) build ./...
@@ -41,7 +42,7 @@ vet:
 # (benchmarks are noisy on shared machines); set BENCH_STRICT=1 to make a
 # regression fail the build.
 check:
-	$(MAKE) vet && $(GO) test -race ./... && $(MAKE) cover && $(MAKE) trace-smoke && $(MAKE) serve-smoke && $(MAKE) cluster-smoke && $(MAKE) store-smoke
+	$(MAKE) vet && $(GO) test -race ./... && $(MAKE) cover && $(MAKE) trace-smoke && $(MAKE) serve-smoke && $(MAKE) cluster-smoke && $(MAKE) store-smoke && $(MAKE) crossover-smoke
 	@if [ "$(BENCH_STRICT)" = "1" ]; then \
 		$(MAKE) benchcmp; \
 	else \
@@ -61,14 +62,15 @@ cover:
 
 # Short fuzz pass over the collective verify interpreter (the recovery
 # ladder's correctness oracle), the plan-cache key, the persistent store's
-# blob codec, and the packet NoC's delivery invariants; extend -fuzztime for
-# deeper runs.
+# blob codec, the packet NoC's delivery invariants, and the backend-name
+# parser's round-trip; extend -fuzztime for deeper runs.
 fuzz:
 	$(GO) test -fuzz=FuzzVerify -fuzztime=30s ./internal/collective/
 	$(GO) test -fuzz=FuzzPlanCacheKey -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzStoreDecode -fuzztime=30s ./internal/store/
 	$(GO) test -fuzz=FuzzStoreRoundTrip -fuzztime=30s ./internal/store/
 	$(GO) test -fuzz=FuzzNocDelivery -fuzztime=30s ./internal/noc/
+	$(GO) test -fuzz=FuzzParseBackendKind -fuzztime=30s .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -106,6 +108,7 @@ profile-noc: build
 golden:
 	$(GO) test ./internal/core -run TestGoldenTraces -update
 	$(GO) test ./internal/noc -run TestNocGolden -update
+	$(GO) test ./internal/cxlpim -run TestGoldenResults -update
 
 # Serve smoke test: boot pimnetd on an ephemeral port, hit every endpoint,
 # and prove the SIGTERM drain exits 0 — the daemon's end-to-end contract.
@@ -123,6 +126,11 @@ cluster-smoke:
 # read (DESIGN.md §14).
 store-smoke:
 	sh scripts/store_smoke.sh
+
+# Crossover smoke test: the six-backend DIMM-vs-CXL study on a reduced grid
+# must carry every backend and render byte-identically at any worker count.
+crossover-smoke:
+	sh scripts/crossover_smoke.sh
 
 # Trace smoke test: a traced 256-DPU AllReduce must produce schema-valid
 # Chrome trace_event JSON (the Perfetto-loadability contract of -trace-out).

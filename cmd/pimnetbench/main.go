@@ -6,6 +6,7 @@
 //	pimnetbench              # run every experiment with paper-sized inputs
 //	pimnetbench -fig 13      # one experiment
 //	pimnetbench -fig noc     # adversarial NoC pattern sweep (2560 DPUs)
+//	pimnetbench -fig crossover  # DIMM-attached vs CXL-attached PIM study
 //	pimnetbench -fig ablations  # the A1-A6 design-choice studies
 //	pimnetbench -scaled      # reduced inputs (seconds instead of minutes)
 //	pimnetbench -csv         # machine-readable output
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: 2, 3, 4 (Table IV), 10, 11, 12, 13, 14, 15, 16, 17, hw, noc, a1-a6, ablations, trace, or all")
+	fig := flag.String("fig", "all", "experiment to run: 2, 3, 4 (Table IV), 10, 11, 12, 13, 14, 15, 16, 17, hw, noc, crossover, a1-a6, ablations, trace, or all")
 	scaled := flag.Bool("scaled", false, "use reduced workload inputs for a quick run")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
@@ -213,6 +214,21 @@ func run(o options) error {
 		// `pimnetbench -fig noc -cpuprofile cpu.pprof` profiles exactly the
 		// flat packet core's hot loop.
 		_, t, err := experiments.FigNocAdversarial(sw...)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		ran = true
+	}
+	if want("crossover") {
+		// The DIMM-attached vs CXL-attached study on all six backends.
+		// -scaled shrinks the grid to its corners for smoke runs.
+		dpus, bytes := []int(nil), []int64(nil)
+		if o.scaled {
+			dpus = []int{64, 256}
+			bytes = []int64{4 << 10, 1 << 20}
+		}
+		_, t, err := experiments.FigCrossover(dpus, bytes, sw...)
 		if err != nil {
 			return err
 		}

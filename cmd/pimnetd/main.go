@@ -21,7 +21,6 @@
 //	GET  /healthz              liveness (503 once draining)
 //	GET  /metrics              Prometheus text exposition (requests, plan cache,
 //	                           store, coalescing, job queues, per-tenant counters)
-//	GET  /metrics.json         deprecated JSON snapshot (one release; use /metrics)
 //
 // Async jobs run -max-jobs at a time, scheduled by deficit round robin over
 // per-tenant queues: -tenant-quotas "acme=4,free=1" caps each tenant's

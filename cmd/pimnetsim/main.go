@@ -5,6 +5,7 @@
 //
 //	pimnetsim -backend pimnet -pattern allreduce -bytes 32768 -dpus 256
 //	pimnetsim -backend baseline -workload CC -dpus 256
+//	pimnetsim -backend cxlpim -workload PIMfused -dpus 256
 //	pimnetsim -compare -pattern alltoall -bytes 32768 -dpus 256
 //	pimnetsim -plan -pattern allreduce -dpus 64   # dump the compiled schedule
 //	pimnetsim -faults fail-chip=1 -fault-seed 7 -pattern allreduce -dpus 256
@@ -59,9 +60,10 @@ var patterns = map[string]pimnet.Pattern{
 	"reduce":        pimnet.Reduce,
 }
 
-// workloadNames are the canonical Table VII workload names accepted (by
-// case-insensitive prefix) by -workload.
-var workloadNames = []string{"BFS", "CC", "GEMV", "MLP", "SpMV", "EMB", "NTT", "Join"}
+// workloadNames are the canonical workload names accepted (by
+// case-insensitive prefix) by -workload: the Table VII suite plus the
+// PIMfused fused-layer CNN class.
+var workloadNames = []string{"BFS", "CC", "GEMV", "MLP", "SpMV", "EMB", "NTT", "Join", "PIMfused"}
 
 // options collects the parsed command line.
 type options struct {
@@ -88,13 +90,13 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.backend, "backend", "pimnet", "baseline | ideal | ndpbridge | dimmlink | pimnet")
+	flag.StringVar(&o.backend, "backend", "pimnet", "baseline | ideal | ndpbridge | dimmlink | pimnet | cxlpim")
 	flag.StringVar(&o.pattern, "pattern", "allreduce", "collective pattern")
 	flag.Int64Var(&o.bytes, "bytes", 32<<10, "payload bytes per DPU")
 	flag.IntVar(&o.dpus, "dpus", 256, "DPU population (power-of-two shapes of the default hierarchy)")
-	flag.StringVar(&o.workload, "workload", "", "run a named workload instead (BFS, CC, GEMV, MLP, SpMV, EMB, NTT, Join)")
+	flag.StringVar(&o.workload, "workload", "", "run a named workload instead (BFS, CC, GEMV, MLP, SpMV, EMB, NTT, Join, PIMfused)")
 	flag.BoolVar(&o.scaled, "scaled", true, "reduced workload inputs")
-	flag.BoolVar(&o.compare, "compare", false, "run all five backends")
+	flag.BoolVar(&o.compare, "compare", false, "run all six backends")
 	flag.BoolVar(&o.plan, "plan", false, "dump the compiled PIMnet schedule instead of executing")
 	flag.StringVar(&o.faults, "faults", "", "fault spec to inject into the pimnet backend, e.g. fail-chip=1,corrupt=0.05")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for deterministic fault placement")
@@ -335,21 +337,9 @@ func runCollective(sys pimnet.System, targets []pimnet.Backend, o options) error
 }
 
 func runWorkload(sys pimnet.System, targets []pimnet.Backend, name string, dpus int, scaled bool) error {
-	suite, err := pimnet.EvaluationSuite(dpus, 1, scaled)
+	wl, err := pimnet.NamedWorkload(name, dpus, 1, scaled)
 	if err != nil {
 		return err
-	}
-	var wl *pimnet.Workload
-	var names []string
-	for i := range suite {
-		names = append(names, suite[i].Name)
-		if strings.EqualFold(suite[i].Name, name) ||
-			strings.HasPrefix(strings.ToLower(suite[i].Name), strings.ToLower(name)) {
-			wl = &suite[i]
-		}
-	}
-	if wl == nil {
-		return fmt.Errorf("unknown workload %q (have %s)", name, strings.Join(names, ", "))
 	}
 	tbl := report.New(fmt.Sprintf("workload %s, %d DPUs", wl.Name, dpus),
 		"backend", "total", "compute", "communication", "comm fraction")
@@ -358,7 +348,7 @@ func runWorkload(sys pimnet.System, targets []pimnet.Backend, name string, dpus 
 		if err != nil {
 			return err
 		}
-		rep, err := m.Run(*wl)
+		rep, err := m.Run(wl)
 		if err != nil {
 			tbl.AddRow(be.Name(), "n/a", "", "", "")
 			continue
@@ -373,7 +363,7 @@ func runWorkload(sys pimnet.System, targets []pimnet.Backend, name string, dpus 
 }
 
 // newBackend builds exactly one backend, attaching the shared plan cache
-// (which only the PIMnet backend — the one that compiles plans — uses).
+// (which only the plan-compiling backends — PIMnet and CXL-PIM — use).
 func newBackend(sys pimnet.System, name string, cache *core.PlanCache) (pimnet.Backend, error) {
 	kind, err := pimnet.ParseBackendKind(name)
 	if err != nil {

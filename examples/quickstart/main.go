@@ -1,5 +1,5 @@
 // Quickstart: run one 32 KB-per-DPU AllReduce over a full 256-DPU memory
-// channel on all five communication designs and print the latency and
+// channel on all six communication designs and print the latency and
 // where the time goes. This is the paper's headline comparison in about
 // twenty lines of API.
 package main

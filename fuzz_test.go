@@ -1,0 +1,34 @@
+package pimnet_test
+
+import (
+	"testing"
+
+	"pimnet"
+)
+
+// FuzzParseBackendKind: any string either parses to a kind whose canonical
+// String() parses back to the same kind, or is rejected with an error —
+// never a panic, and never an accept/canonical round-trip mismatch. Run
+// with `go test -fuzz=FuzzParseBackendKind .`.
+func FuzzParseBackendKind(f *testing.F) {
+	for _, s := range []string{
+		"baseline", "b", "ideal", "Software(Ideal)", "ndpbridge", "n",
+		"dimmlink", "DIMM-Link", "d", "pimnet", "P", "cxlpim", "CXL-PIM",
+		"cxl", "c", " pimnet ", "gpu", "", "cxlpimm",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		kind, err := pimnet.ParseBackendKind(s)
+		if err != nil {
+			return
+		}
+		back, err := pimnet.ParseBackendKind(kind.String())
+		if err != nil {
+			t.Fatalf("canonical name %q of accepted input %q does not parse: %v", kind, s, err)
+		}
+		if back != kind {
+			t.Fatalf("round trip moved %q: %v -> %v", s, kind, back)
+		}
+	})
+}

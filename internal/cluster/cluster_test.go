@@ -151,10 +151,11 @@ func TestClusterSweepMatchesSingleNode(t *testing.T) {
 	want := singleNodePoints(t, testGrid)
 	f := startFleet(t, 3, nil)
 
-	front := httptest.NewServer(serve.New(serve.Config{
+	srv := serve.New(serve.Config{
 		Sweeper:        f.coord,
 		ClusterMetrics: func() any { return f.coord.MetricsSnapshot() },
-	}))
+	})
+	front := httptest.NewServer(srv)
 	defer front.Close()
 
 	got := postSweepPoints(t, front.URL, testGrid)
@@ -165,20 +166,9 @@ func TestClusterSweepMatchesSingleNode(t *testing.T) {
 		t.Fatalf("chunks dispatched = %d, want 3", n)
 	}
 
-	resp, err := http.Get(front.URL + "/metrics.json")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	var met struct {
-		Cluster *Snapshot `json:"cluster"`
-	}
-	if err := json.Unmarshal(body, &met); err != nil {
-		t.Fatal(err)
-	}
-	if met.Cluster == nil || len(met.Cluster.Workers) != 3 || met.Cluster.HealthyWorkers != 3 {
-		t.Fatalf("metrics cluster section = %+v", met.Cluster)
+	cl, ok := srv.Snapshot().Cluster.(Snapshot)
+	if !ok || len(cl.Workers) != 3 || cl.HealthyWorkers != 3 {
+		t.Fatalf("metrics cluster section = %+v (ok=%v)", cl, ok)
 	}
 }
 

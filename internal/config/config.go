@@ -94,6 +94,82 @@ type BufferChip struct {
 	HopLatency   sim.Time // bridge/forwarding latency per hop (NDPBridge-style)
 }
 
+// CXL describes the CXL-attached PIM variant used by the CXL-PIM backend:
+// the channel population is split across Devices PIM devices hanging off a
+// switched CXL fabric. Inside a device the PIMnet tiers apply unchanged;
+// between devices every byte crosses SwitchHops+1 link traversals of
+// LinkLatency each and serializes on the device's full-duplex LinkBandwidth.
+// DeviceMemBytes is the per-device capacity — the axis on which CXL-PIM
+// relaxes the DIMM systems' sharding constraint (a device holds far more
+// than its DPUs' aggregate MRAM). All fields are scalars so System stays
+// comparable (the plan-cache key depends on it).
+type CXL struct {
+	Devices        int      // PIM devices on the fabric; the population splits evenly across them
+	LinkLatency    sim.Time // one link traversal (device<->switch or switch<->switch)
+	LinkBandwidth  float64  // per-device link rate, bytes/s each direction (full duplex)
+	SwitchHops     int      // switches crossed between any device pair
+	ReduceBW       float64  // device-controller elementwise reduce throughput, bytes/s
+	DeviceMemBytes int64    // CXL-expander capacity per device
+}
+
+// DefaultCXL returns the CXL 2.0-class fabric parameters the CXL-PIM
+// backend assumes: four devices behind one switch level, x8 PCIe-5 links.
+func DefaultCXL() CXL {
+	return CXL{
+		Devices:        4,
+		LinkLatency:    150 * sim.Nanosecond, // load-to-use class CXL.mem latency per traversal
+		LinkBandwidth:  32 * GBps,            // x8 PCIe 5.0, per direction
+		SwitchHops:     1,
+		ReduceBW:       19.2 * GBps, // device-controller reduce, buffer-chip class
+		DeviceMemBytes: 256 << 30,   // 256 GiB expander per device
+	}
+}
+
+// WithDefaults fills zero fields from DefaultCXL, so a System built by hand
+// (without going through Default) still yields a usable CXL-PIM model.
+func (c CXL) WithDefaults() CXL {
+	d := DefaultCXL()
+	if c.Devices == 0 {
+		c.Devices = d.Devices
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = d.LinkLatency
+	}
+	if c.LinkBandwidth == 0 {
+		c.LinkBandwidth = d.LinkBandwidth
+	}
+	if c.SwitchHops == 0 {
+		c.SwitchHops = d.SwitchHops
+	}
+	if c.ReduceBW == 0 {
+		c.ReduceBW = d.ReduceBW
+	}
+	if c.DeviceMemBytes == 0 {
+		c.DeviceMemBytes = d.DeviceMemBytes
+	}
+	return c
+}
+
+// Validate reports fabric parameters that would make the CXL-PIM model
+// meaningless.
+func (c CXL) Validate() error {
+	switch {
+	case c.Devices < 1:
+		return fmt.Errorf("config: cxl devices = %d, need >= 1", c.Devices)
+	case c.LinkLatency < 0:
+		return fmt.Errorf("config: cxl link latency %v < 0", c.LinkLatency)
+	case c.LinkBandwidth <= 0:
+		return fmt.Errorf("config: cxl link bandwidth %v <= 0", c.LinkBandwidth)
+	case c.SwitchHops < 0:
+		return fmt.Errorf("config: cxl switch hops %d < 0", c.SwitchHops)
+	case c.ReduceBW <= 0:
+		return fmt.Errorf("config: cxl reduce bandwidth %v <= 0", c.ReduceBW)
+	case c.DeviceMemBytes <= 0:
+		return fmt.Errorf("config: cxl device capacity %d <= 0", c.DeviceMemBytes)
+	}
+	return nil
+}
+
 // System is the complete simulated platform.
 type System struct {
 	Channels     int // memory channels; PIMnet connects DPUs within one channel
@@ -105,6 +181,9 @@ type System struct {
 	Net    Net
 	Host   Host
 	Buffer BufferChip
+	// CXL parameterizes the CXL-PIM backend; the DIMM-attached backends
+	// ignore it.
+	CXL CXL
 }
 
 // Default returns the paper's evaluation configuration (Tables II, IV, VI):
@@ -159,6 +238,7 @@ func Default() System {
 			ReduceBW:     19.2 * GBps,
 			HopLatency:   20 * sim.Nanosecond,
 		},
+		CXL: DefaultCXL(),
 	}
 }
 

@@ -1,0 +1,36 @@
+package cxlpim
+
+import (
+	"testing"
+
+	"pimnet/internal/collective"
+	"pimnet/internal/config"
+	"pimnet/internal/core"
+)
+
+// benchCollective measures the full hierarchical schedule — compile (warm,
+// through an attached cache) plus execute plus analytic fabric — at the
+// default 256-DPU population.
+func benchCollective(b *testing.B, pat collective.Pattern) {
+	c, err := New(config.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.WithPlanCache(core.NewPlanCache())
+	r := collective.Request{Pattern: pat, Op: collective.Sum,
+		BytesPerNode: 32 << 10, ElemSize: 4, Nodes: 256}
+	if _, err := c.Collective(r); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Collective(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCxlAllReduce(b *testing.B) { benchCollective(b, collective.AllReduce) }
+func BenchmarkCxlAllToAll(b *testing.B)  { benchCollective(b, collective.AllToAll) }
+func BenchmarkCxlAllGather(b *testing.B) { benchCollective(b, collective.AllGather) }

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"testing"
+
+	"pimnet/internal/core"
+	"pimnet/internal/sweep"
+)
+
+// TestFigCrossover runs a reduced crossover grid and checks the study's
+// invariants: every cell carries both plan-compiling backends, a winner,
+// and a positive PIMnet/CXL-PIM ratio — and the ratio moves in the CXL
+// fabric's favour as the payload grows (the crossover the study exists to
+// locate).
+func TestFigCrossover(t *testing.T) {
+	dpus := []int{64, 256}
+	bytes := []int64{1 << 10, 1 << 20}
+	pts, tbl, err := FigCrossover(dpus, bytes,
+		sweep.WithWorkers(2), sweep.WithCache(core.NewPlanCache()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(dpus)*len(bytes) {
+		t.Fatalf("%d points for a %dx%d grid", len(pts), len(dpus), len(bytes))
+	}
+	if tbl == nil || tbl.CSV() == "" {
+		t.Fatal("empty table")
+	}
+	byCell := map[[2]int64]CrossoverPoint{}
+	for _, pt := range pts {
+		if pt.Times["PIMnet"] <= 0 || pt.Times["CXL-PIM"] <= 0 {
+			t.Fatalf("cell %d/%d missing a plan-compiling backend: %+v", pt.DPUs, pt.Bytes, pt.Times)
+		}
+		if pt.Winner == "" || pt.Winner == "Software(Ideal)" {
+			t.Errorf("cell %d/%d winner = %q", pt.DPUs, pt.Bytes, pt.Winner)
+		}
+		if pt.PIMvsCXL <= 0 {
+			t.Errorf("cell %d/%d ratio = %f", pt.DPUs, pt.Bytes, pt.PIMvsCXL)
+		}
+		byCell[[2]int64{int64(pt.DPUs), pt.Bytes}] = pt
+	}
+	// The crossover structure: within one rank the DIMM interconnect has no
+	// shared-bus bottleneck and keeps winning, so the payload-driven shift
+	// toward the CXL fabric only appears at multi-rank populations.
+	for _, n := range dpus {
+		if n <= 64 {
+			continue
+		}
+		smallPayload := byCell[[2]int64{int64(n), bytes[0]}]
+		largePayload := byCell[[2]int64{int64(n), bytes[len(bytes)-1]}]
+		if smallPayload.PIMvsCXL >= largePayload.PIMvsCXL {
+			t.Errorf("%d DPUs: PIMnet/CXL-PIM ratio did not grow with payload: %f -> %f",
+				n, smallPayload.PIMvsCXL, largePayload.PIMvsCXL)
+		}
+	}
+}
+
+// TestFigCrossoverDeterministic: the rendered CSV is byte-identical across
+// sweep pool sizes with a shared plan cache in play.
+func TestFigCrossoverDeterministic(t *testing.T) {
+	render := func(workers int) string {
+		_, tbl, err := FigCrossover([]int{64, 256}, []int64{4 << 10, 256 << 10},
+			sweep.WithWorkers(workers), sweep.WithCache(core.NewPlanCache()))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tbl.CSV()
+	}
+	ref := render(1)
+	for _, w := range []int{4, 16} {
+		if got := render(w); got != ref {
+			t.Fatalf("workers=%d CSV diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				w, ref, got)
+		}
+	}
+}

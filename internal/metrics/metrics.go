@@ -31,12 +31,14 @@ const (
 	Sync                         // READY/START synchronization
 	Mem                          // MRAM<->WRAM DMA staging (WRAM overflow)
 	Recovery                     // fault handling: timeouts, retries, recompilation
+	CXLLink                      // CXL fabric traversals (CXL-PIM backend only)
 	numComponents
 )
 
 var componentNames = [numComponents]string{
 	"compute", "inter-bank", "inter-chip", "inter-rank",
 	"host-xfer", "host-compute", "launch", "sync", "mem", "recovery",
+	"cxl-link",
 }
 
 // String returns the component's short name.
@@ -59,7 +61,7 @@ func Components() []Component {
 // CommComponents lists the components that count as communication time in
 // the paper's figures.
 func CommComponents() []Component {
-	return []Component{InterBank, InterChip, InterRank, HostXfer, HostCompute, Launch, Sync, Mem, Recovery}
+	return []Component{InterBank, InterChip, InterRank, HostXfer, HostCompute, Launch, Sync, Mem, Recovery, CXLLink}
 }
 
 // Breakdown accumulates time per component. The zero value is ready to use.

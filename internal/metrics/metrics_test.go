@@ -68,7 +68,8 @@ func TestMergeScaleFraction(t *testing.T) {
 
 func TestComponentNames(t *testing.T) {
 	want := []string{"compute", "inter-bank", "inter-chip", "inter-rank",
-		"host-xfer", "host-compute", "launch", "sync", "mem", "recovery"}
+		"host-xfer", "host-compute", "launch", "sync", "mem", "recovery",
+		"cxl-link"}
 	comps := Components()
 	if len(comps) != len(want) {
 		t.Fatalf("%d components, want %d", len(comps), len(want))

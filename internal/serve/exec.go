@@ -2,9 +2,7 @@ package serve
 
 import (
 	"context"
-	"fmt"
 	"net/http"
-	"strings"
 
 	"pimnet"
 	"pimnet/internal/core"
@@ -14,8 +12,8 @@ import (
 )
 
 // buildBackend constructs the point's backend with the process-wide plan
-// cache attached (only the PIMnet backend — the one that compiles plans —
-// uses it) and, when requested, a fault model and a link-utilization
+// cache attached (only the plan-compiling backends — PIMnet and CXL-PIM —
+// use it) and, when requested, a fault model and a link-utilization
 // tracer. Every request builds its own backend: simulation engines are
 // single-owner types, so the only state requests share is the cache, whose
 // entries are immutable blueprints.
@@ -99,21 +97,14 @@ func (s *Server) executeSimulate(ctx context.Context, echo SimulateRequest, pt s
 	return okResponse(resp)
 }
 
-// findWorkload builds the evaluation suite for the population and resolves
-// the canonical workload by its base name (suite entries may carry a size
-// suffix, e.g. "GEMV-4096x4096").
+// findWorkload resolves the canonical workload by name: the Table VII suite
+// (entries may carry a size suffix, e.g. "GEMV-4096x4096") plus PIMfused.
 func findWorkload(name string, nodes int, seed int64, scaled bool) (*pimnet.Workload, error) {
-	suite, err := pimnet.EvaluationSuite(nodes, seed, scaled)
+	wl, err := pimnet.NamedWorkload(name, nodes, seed, scaled)
 	if err != nil {
 		return nil, err
 	}
-	for i := range suite {
-		base, _, _ := strings.Cut(suite[i].Name, "-")
-		if strings.EqualFold(base, name) {
-			return &suite[i], nil
-		}
-	}
-	return nil, fmt.Errorf("workload %q not in the evaluation suite", name)
+	return &wl, nil
 }
 
 // executeSweep fans the request's grid onto the parallel sweep engine. The

@@ -676,7 +676,7 @@ func (m *jobManager) result(id string) (response, string, bool) {
 	return j.result, j.state, true
 }
 
-// TenantSnapshot is one pool's wire counters in /metrics.json.
+// TenantSnapshot is one pool's wire counters in the observability snapshot.
 type TenantSnapshot struct {
 	Quota       int    `json:"quota"`
 	Submitted   uint64 `json:"submitted"`

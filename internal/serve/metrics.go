@@ -56,11 +56,10 @@ type serverMetrics struct {
 	healthz  atomic.Uint64
 	metrics  atomic.Uint64
 	// Job API endpoints.
-	jobSubmit   atomic.Uint64 // POST /v1/jobs
-	jobStatus   atomic.Uint64 // GET /v1/jobs/{id}
-	jobResult   atomic.Uint64 // GET /v1/jobs/{id}/result
-	jobEvents   atomic.Uint64 // GET /v1/jobs/{id}/events (SSE)
-	metricsJSON atomic.Uint64 // GET /metrics.json (deprecated JSON snapshot)
+	jobSubmit atomic.Uint64 // POST /v1/jobs
+	jobStatus atomic.Uint64 // GET /v1/jobs/{id}
+	jobResult atomic.Uint64 // GET /v1/jobs/{id}/result
+	jobEvents atomic.Uint64 // GET /v1/jobs/{id}/events (SSE)
 
 	status4xx atomic.Uint64
 	status5xx atomic.Uint64
@@ -154,17 +153,16 @@ func (m *serverMetrics) snapshot(gateWaiting int64, cache *core.PlanCache, clust
 	return MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests: map[string]uint64{
-			"simulate":  m.simulate.Load(),
-			"sweep":     m.sweep.Load(),
-			"noc_sweep": m.nocSweep.Load(),
-			"chunk":     m.chunk.Load(),
-			"healthz":      m.healthz.Load(),
-			"metrics":      m.metrics.Load(),
-			"metrics_json": m.metricsJSON.Load(),
-			"jobs":         m.jobSubmit.Load(),
-			"job_status":   m.jobStatus.Load(),
-			"job_result":   m.jobResult.Load(),
-			"job_events":   m.jobEvents.Load(),
+			"simulate":   m.simulate.Load(),
+			"sweep":      m.sweep.Load(),
+			"noc_sweep":  m.nocSweep.Load(),
+			"chunk":      m.chunk.Load(),
+			"healthz":    m.healthz.Load(),
+			"metrics":    m.metrics.Load(),
+			"jobs":       m.jobSubmit.Load(),
+			"job_status": m.jobStatus.Load(),
+			"job_result": m.jobResult.Load(),
+			"job_events": m.jobEvents.Load(),
 		},
 		Status4xx: m.status4xx.Load(),
 		Status5xx: m.status5xx.Load(),

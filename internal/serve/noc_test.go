@@ -92,20 +92,12 @@ func TestNocSweepRejects(t *testing.T) {
 	}
 }
 
-// TestNocSweepMetrics checks the endpoint shows up in GET /metrics.
+// TestNocSweepMetrics checks the endpoint shows up in the observability
+// snapshot.
 func TestNocSweepMetrics(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	s, ts := newTestServer(t, Config{})
 	post(t, ts.URL+"/v1/noc/sweep", `{"ranks":2,"chips":2,"banks":4,"patterns":["tornado"],"steps":1}`)
-	resp, err := http.Get(ts.URL + "/metrics.json")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var snap MetricsSnapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatal(err)
-	}
-	if snap.Requests["noc_sweep"] != 1 {
+	if snap := s.Snapshot(); snap.Requests["noc_sweep"] != 1 {
 		t.Errorf("noc_sweep counter = %d, want 1", snap.Requests["noc_sweep"])
 	}
 }

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"encoding/json"
 	"net/http"
 	"testing"
 
@@ -10,10 +9,10 @@ import (
 
 // TestMetricsPromExposition: GET /metrics is valid Prometheus text carrying
 // the request, plan-cache, coalescing, store, job-queue, and per-tenant
-// series, and it agrees with the JSON snapshot at /metrics.json.
+// series, and it agrees with the programmatic Snapshot.
 func TestMetricsPromExposition(t *testing.T) {
 	st := openStore(t, t.TempDir())
-	_, ts := newTestServer(t, Config{Store: st, TenantQuotas: map[string]int{"acme": 2}})
+	s, ts := newTestServer(t, Config{Store: st, TenantQuotas: map[string]int{"acme": 2}})
 
 	// Traffic to populate every section: a sync simulate (plan cache +
 	// store write), the same point again (store hit), a failing decode
@@ -101,16 +100,9 @@ func TestMetricsPromExposition(t *testing.T) {
 		}
 	}
 
-	status, jsonBody := get(t, ts.URL+"/metrics.json")
-	if status != http.StatusOK {
-		t.Fatalf("GET /metrics.json: %d", status)
-	}
-	var snap MetricsSnapshot
-	if err := json.Unmarshal(jsonBody, &snap); err != nil {
-		t.Fatalf("/metrics.json: %v", err)
-	}
+	snap := s.Snapshot()
 	if snap.Jobs == nil {
-		t.Fatal("/metrics.json has no jobs section")
+		t.Fatal("snapshot has no jobs section")
 	}
 	for _, pool := range []string{"acme", "default"} {
 		tc, ok := snap.Jobs.Tenants[pool]

@@ -23,7 +23,7 @@ import (
 // field silently taking a default would corrupt a study).
 type SimulateRequest struct {
 	// Backend selects the communication substrate: baseline, ideal,
-	// ndpbridge, dimmlink, or pimnet (default).
+	// ndpbridge, dimmlink, pimnet (default), or cxlpim.
 	Backend string `json:"backend,omitempty"`
 	// Pattern is the collective pattern (default allreduce). Ignored when
 	// Workload is set.
@@ -39,8 +39,9 @@ type SimulateRequest struct {
 	DPUs int `json:"dpus,omitempty"`
 	// Root is the root node of rooted patterns (broadcast, gather, reduce).
 	Root int `json:"root,omitempty"`
-	// Workload, when set, runs a named Table VII workload (BFS, CC, GEMV,
-	// MLP, SpMV, EMB, NTT, Join) instead of a single collective.
+	// Workload, when set, runs a named workload (the Table VII suite — BFS,
+	// CC, GEMV, MLP, SpMV, EMB, NTT, Join — or the PIMfused fused-layer CNN)
+	// instead of a single collective.
 	Workload string `json:"workload,omitempty"`
 	// Scaled selects reduced workload inputs (default true; workload only).
 	Scaled *bool `json:"scaled,omitempty"`
@@ -123,9 +124,10 @@ type SweepResponse struct {
 	Stats   report.SweepStatsJSON `json:"stats"`
 }
 
-// workloadNames are the canonical Table VII workloads accepted (by
-// case-insensitive prefix) in SimulateRequest.Workload.
-var workloadNames = []string{"BFS", "CC", "GEMV", "MLP", "SpMV", "EMB", "NTT", "Join"}
+// workloadNames are the canonical workload names accepted (by
+// case-insensitive prefix) in SimulateRequest.Workload: the Table VII suite
+// plus the PIMfused fused-layer CNN class.
+var workloadNames = []string{"BFS", "CC", "GEMV", "MLP", "SpMV", "EMB", "NTT", "Join", "PIMfused"}
 
 // simPoint is a fully validated, normalized simulate request: everything the
 // executor needs, resolved before any admission or coalescing decision.
@@ -318,7 +320,7 @@ func (req SimulateRequest) normalize() (SimulateRequest, simPoint, error) {
 }
 
 // canonicalWorkload resolves a case-insensitive prefix to the canonical
-// Table VII name.
+// workload name.
 func canonicalWorkload(name string) (string, bool) {
 	for _, w := range workloadNames {
 		if strings.HasPrefix(strings.ToLower(w), strings.ToLower(name)) {

@@ -76,8 +76,8 @@ type Config struct {
 	// pass this server's admission gate, so a coordinator sheds load
 	// exactly like a single node.
 	Sweeper SweepRunner
-	// ClusterMetrics, when non-nil, is polled by GET /metrics.json and
-	// embedded in the snapshot as "cluster" (coordinator mode only).
+	// ClusterMetrics, when non-nil, is embedded in the observability
+	// snapshot as "cluster" (coordinator mode only; see Server.Snapshot).
 	ClusterMetrics func() any
 	// MaxJobs bounds concurrently running async jobs (<=0 selects
 	// MaxInFlight). Queued jobs wait in per-tenant queues scheduled by
@@ -199,8 +199,8 @@ func New(cfg Config) *Server {
 	route("GET", "/v1/jobs/{id}/events", s.handleJobEvents)
 	route("GET", "/healthz", s.handleHealthz)
 	route("GET", "/metrics", s.handleMetricsProm)
-	route("GET", "/metrics.json", s.handleMetricsJSON)
-	// Everything else is an enveloped 404.
+	// Everything else is an enveloped 404 — including /metrics.json, the
+	// deprecated JSON snapshot removed after its one-release grace period.
 	s.mux.HandleFunc("/", s.handleNotFound)
 	return s
 }
@@ -470,8 +470,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.write(w, response{status: status, body: body})
 }
 
+// Snapshot assembles the full observability snapshot: the same data the
+// Prometheus exposition renders, plus the sections Prometheus cannot carry
+// (the coordinator's per-worker cluster view). It is the programmatic
+// accessor that replaced the removed /metrics.json endpoint.
+func (s *Server) Snapshot() MetricsSnapshot { return s.snapshotMetrics() }
+
 // snapshotMetrics assembles the full observability snapshot (shared by the
-// Prometheus and legacy JSON renderings, so the two can never disagree).
+// Prometheus rendering and the exported Snapshot accessor, so the two can
+// never disagree).
 func (s *Server) snapshotMetrics() MetricsSnapshot {
 	var cluster any
 	if s.cfg.ClusterMetrics != nil {
@@ -486,11 +493,4 @@ func (s *Server) snapshotMetrics() MetricsSnapshot {
 func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	s.met.metrics.Add(1)
 	s.writeProm(w, s.snapshotMetrics())
-}
-
-// handleMetricsJSON serves the legacy JSON snapshot at GET /metrics.json.
-// Deprecated: kept for one release; scrape /metrics instead.
-func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
-	s.met.metricsJSON.Add(1)
-	s.write(w, okResponse(s.snapshotMetrics()))
 }

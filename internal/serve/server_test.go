@@ -127,15 +127,8 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 		t.Fatalf("coalesced = %d, want %d", got, clients-1)
 	}
 
-	// The coalesce counter is surfaced through /metrics.
-	status, mb := get(t, ts.URL+"/metrics.json")
-	if status != http.StatusOK {
-		t.Fatalf("/metrics status %d", status)
-	}
-	var snap MetricsSnapshot
-	if err := json.Unmarshal(mb, &snap); err != nil {
-		t.Fatal(err)
-	}
+	// The coalesce counter is surfaced through the observability snapshot.
+	snap := s.Snapshot()
 	if snap.Coalesced == 0 {
 		t.Fatal("metrics report zero coalesced requests")
 	}
@@ -382,6 +375,10 @@ func TestDecodeRejections(t *testing.T) {
 		{"unknown workload", `{"workload": "DOOM"}`},
 		{"bad trace level", `{"trace_level": "verbose"}`},
 		{"overhead on baseline", `{"backend": "baseline", "step_overhead_ps": 10}`},
+		{"near-miss cxl backend", `{"backend": "cxlpimm"}`},
+		{"overhead on cxlpim", `{"backend": "cxlpim", "step_overhead_ps": 10}`},
+		{"faults on cxlpim", `{"backend": "cxlpim", "faults": "fail-chip=1"}`},
+		{"near-miss pimfused workload", `{"workload": "pimfusedx"}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -407,6 +404,34 @@ func TestDecodeRejections(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/simulate: %d", resp.StatusCode)
+	}
+}
+
+// TestNewNameDecodeMatrix: the CXL-PIM backend and PIMfused workload decode
+// through every accepted spelling, and near-misses stay structured 400s
+// (covered in TestDecodeRejections). The echoed request carries the
+// canonical backend name.
+func TestNewNameDecodeMatrix(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"cxlpim lowercase", `{"backend": "cxlpim", "pattern": "allreduce", "dpus": 64, "bytes_per_node": 1024}`},
+		{"cxlpim canonical", `{"backend": "CXL-PIM", "pattern": "allreduce", "dpus": 64, "bytes_per_node": 1024}`},
+		{"cxlpim short alias", `{"backend": "CxL", "pattern": "allreduce", "dpus": 64, "bytes_per_node": 1024}`},
+		{"pimfused lowercase", `{"workload": "pimfused", "dpus": 64}`},
+		{"pimfused shouting", `{"workload": "PIMFUSED", "dpus": 64}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, body := post(t, ts.URL+"/v1/simulate", tc.body)
+			if status != http.StatusOK {
+				t.Fatalf("status %d, body %s", status, body)
+			}
+			if strings.Contains(tc.name, "cxlpim") && !strings.Contains(string(body), `"backend":"CXL-PIM"`) {
+				t.Fatalf("response does not carry the canonical backend name: %s", body)
+			}
+		})
 	}
 }
 
@@ -601,7 +626,7 @@ func TestSweepRejections(t *testing.T) {
 // TestMetricsAndHealth: the observability endpoints carry the counters the
 // acceptance criteria name.
 func TestMetricsAndHealth(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	s, ts := newTestServer(t, Config{})
 	status, body := get(t, ts.URL+"/healthz")
 	if status != http.StatusOK {
 		t.Fatalf("healthz: %d", status)
@@ -615,14 +640,16 @@ func TestMetricsAndHealth(t *testing.T) {
 	post(t, ts.URL+"/v1/sweep", `{"pattern": "allreduce", "dpus": [64], "bytes_per_node": [4096, 8192]}`)
 	post(t, ts.URL+"/v1/simulate", `{"pattern": "bogus"}`)
 
+	// The removed /metrics.json endpoint now answers an enveloped 404.
 	status, body = get(t, ts.URL+"/metrics.json")
-	if status != http.StatusOK {
-		t.Fatalf("metrics: %d", status)
+	if status != http.StatusNotFound {
+		t.Fatalf("metrics.json: %d, want 404 (endpoint removed)", status)
 	}
-	var snap MetricsSnapshot
-	if err := json.Unmarshal(body, &snap); err != nil {
-		t.Fatal(err)
+	if !strings.Contains(string(body), `"error"`) {
+		t.Fatalf("metrics.json 404 not enveloped: %s", body)
 	}
+
+	snap := s.Snapshot()
 	if snap.Requests["simulate"] != 3 || snap.Requests["sweep"] != 1 {
 		t.Fatalf("request counters: %+v", snap.Requests)
 	}

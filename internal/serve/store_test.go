@@ -381,28 +381,18 @@ func TestCorruptResultBlobRecomputedNeverServed(t *testing.T) {
 	}
 }
 
-// TestMetricsStoreSection: /metrics grows a store section exactly when a
-// store is attached, carrying the hit/miss/write/corruption counters the
-// smoke test and operators read.
+// TestMetricsStoreSection: the observability snapshot grows a store section
+// exactly when a store is attached, carrying the hit/miss/write/corruption
+// counters the smoke test and operators read.
 func TestMetricsStoreSection(t *testing.T) {
 	st := openStore(t, t.TempDir())
-	_, ts := newTestServer(t, Config{Store: st})
+	s, ts := newTestServer(t, Config{Store: st})
 	post(t, ts.URL+"/v1/simulate", coalesceBody)
 	post(t, ts.URL+"/v1/simulate", coalesceBody) // warm hit
 
-	code, body := get(t, ts.URL+"/metrics.json")
-	if code != http.StatusOK {
-		t.Fatalf("metrics: %d %s", code, body)
-	}
-	var snap struct {
-		PlanCache PlanCacheSnapshot `json:"plan_cache"`
-		Store     *StoreSnapshot    `json:"store"`
-	}
-	if err := json.Unmarshal(body, &snap); err != nil {
-		t.Fatal(err)
-	}
+	snap := s.Snapshot()
 	if snap.Store == nil {
-		t.Fatalf("metrics missing store section: %s", body)
+		t.Fatalf("metrics missing store section: %+v", snap)
 	}
 	if snap.Store.Results.Hits != 1 || snap.Store.Results.Writes != 1 {
 		t.Fatalf("store section = %+v, want 1 result hit, 1 write", snap.Store.Results)
@@ -412,9 +402,8 @@ func TestMetricsStoreSection(t *testing.T) {
 	}
 
 	// Without a store the section is absent, not zeroed.
-	_, tsPlain := newTestServer(t, Config{})
-	_, body = get(t, tsPlain.URL+"/metrics.json")
-	if bytes.Contains(body, []byte(`"store"`)) {
-		t.Fatalf("storeless daemon reports a store section: %s", body)
+	sPlain, _ := newTestServer(t, Config{})
+	if plain := sPlain.Snapshot(); plain.Store != nil {
+		t.Fatalf("storeless daemon reports a store section: %+v", plain.Store)
 	}
 }

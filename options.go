@@ -6,6 +6,7 @@ import (
 
 	"pimnet/internal/baselines"
 	"pimnet/internal/core"
+	"pimnet/internal/cxlpim"
 	"pimnet/internal/host"
 	"pimnet/internal/trace"
 )
@@ -115,23 +116,25 @@ func WithFallback(be Backend) Option {
 	return func(c *buildConfig) { c.fallback = be; c.fallbackSet = true }
 }
 
-// WithPlanCache shares a compiled-plan cache with the PIMnet backend
-// (typically across the workers of a parallel sweep). Ignored by backends
-// that do not compile plans.
+// WithPlanCache shares a compiled-plan cache with the plan-compiling
+// backends — PIMnet and CXL-PIM (typically across the workers of a parallel
+// sweep). Ignored by backends that do not compile plans.
 func WithPlanCache(cache *PlanCache) Option {
 	return func(c *buildConfig) { c.cache = cache }
 }
 
-// BackendKind identifies one of the five comparison backends.
+// BackendKind identifies one of the six comparison backends.
 type BackendKind int
 
-// The five backends, in the paper's figure order (B, S, N, D, P).
+// The paper's five backends in figure order (B, S, N, D, P), plus the
+// CXL-attached PIM crossover model (C) appended after them.
 const (
 	Baseline      BackendKind = iota // host-relayed, measured overheads
 	IdealSoftware                    // zero-overhead software upper bound
 	NDPBridge                        // hierarchical forwarding, host-relayed inter-rank
 	DIMMLink                         // inter-DIMM bridges, buffer-chip collectives
 	PIMnet                           // the paper's interconnect
+	CXLPIM                           // CXL-attached PIM: capacity vs link latency
 )
 
 // String returns the canonical backend name used in reports and figures.
@@ -147,19 +150,21 @@ func (k BackendKind) String() string {
 		return "DIMM-Link"
 	case PIMnet:
 		return "PIMnet"
+	case CXLPIM:
+		return "CXL-PIM"
 	default:
 		return fmt.Sprintf("BackendKind(%d)", int(k))
 	}
 }
 
-// BackendKinds returns all five kinds in the paper's figure order.
+// BackendKinds returns all six kinds in figure order (B, S, N, D, P, C).
 func BackendKinds() []BackendKind {
-	return []BackendKind{Baseline, IdealSoftware, NDPBridge, DIMMLink, PIMnet}
+	return []BackendKind{Baseline, IdealSoftware, NDPBridge, DIMMLink, PIMnet, CXLPIM}
 }
 
 // ParseBackendKind resolves a CLI-style backend name: the canonical names
 // (case-insensitive) and the short aliases baseline, ideal, ndpbridge,
-// dimmlink, pimnet.
+// dimmlink, pimnet, cxlpim.
 func ParseBackendKind(s string) (BackendKind, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "baseline", "b":
@@ -172,13 +177,16 @@ func ParseBackendKind(s string) (BackendKind, error) {
 		return DIMMLink, nil
 	case "pimnet", "p":
 		return PIMnet, nil
+	case "cxlpim", "cxl-pim", "cxl", "c":
+		return CXLPIM, nil
 	}
-	return 0, fmt.Errorf("pimnet: unknown backend %q (want baseline, ideal, ndpbridge, dimmlink, or pimnet)", s)
+	return 0, fmt.Errorf("pimnet: unknown backend %q (want baseline, ideal, ndpbridge, dimmlink, pimnet, or cxlpim)", s)
 }
 
 // NewBackend builds one comparison backend by kind. All construction options
 // are accepted uniformly; those that do not apply to the kind are ignored
-// (WithFaults and WithPlanCache only configure the PIMnet backend).
+// (WithFaults only arms the PIMnet backend; WithPlanCache configures the
+// plan-compiling backends, PIMnet and CXL-PIM).
 func NewBackend(kind BackendKind, sys System, opts ...Option) (Backend, error) {
 	cfg := applyOptions(opts)
 	switch kind {
@@ -212,6 +220,18 @@ func NewBackend(kind BackendKind, sys System, opts ...Option) (Backend, error) {
 		return d, nil
 	case PIMnet:
 		return newPIMnetWith(sys, cfg)
+	case CXLPIM:
+		x, err := cxlpim.New(sys)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.cache != nil {
+			x.WithPlanCache(cfg.cache)
+		}
+		if cfg.tracer != nil {
+			x.SetTracer(cfg.tracer, cfg.level)
+		}
+		return x, nil
 	default:
 		return nil, fmt.Errorf("pimnet: unknown backend kind %v", kind)
 	}

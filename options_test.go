@@ -20,8 +20,8 @@ func testSystem(t *testing.T, dpus int) pimnet.System {
 func TestNewBackendCoversEveryKind(t *testing.T) {
 	sys := testSystem(t, 256)
 	kinds := pimnet.BackendKinds()
-	if len(kinds) != 5 {
-		t.Fatalf("BackendKinds returned %d kinds, want 5", len(kinds))
+	if len(kinds) != 6 {
+		t.Fatalf("BackendKinds returned %d kinds, want 6", len(kinds))
 	}
 	for _, k := range kinds {
 		be, err := pimnet.NewBackend(k, sys)
@@ -44,6 +44,7 @@ func TestParseBackendKind(t *testing.T) {
 		"ndpbridge": pimnet.NDPBridge, "NDPBridge": pimnet.NDPBridge,
 		"dimmlink": pimnet.DIMMLink, "DIMM-Link": pimnet.DIMMLink,
 		"pimnet": pimnet.PIMnet, "PIMnet": pimnet.PIMnet,
+		"cxlpim": pimnet.CXLPIM, "CXL-PIM": pimnet.CXLPIM, "cxl": pimnet.CXLPIM,
 	}
 	for in, want := range cases {
 		got, err := pimnet.ParseBackendKind(in)

@@ -3,7 +3,7 @@
 // Scalable PIM" (HPCA 2025).
 //
 // It models a UPMEM-class processing-in-memory system — banks of
-// general-purpose DPUs inside DDR4 DRAM chips — and five ways of performing
+// general-purpose DPUs inside DDR4 DRAM chips — and six ways of performing
 // collective communication between the PIM banks:
 //
 //   - Baseline: the commodity path, where the host CPU relays every byte
@@ -15,7 +15,11 @@
 //     between ranks, no in-network reduction;
 //   - PIMnet: the paper's contribution — a statically scheduled,
 //     bufferless, PIM-controlled multi-tier interconnect (inter-bank ring,
-//     inter-chip crossbar, inter-rank bus) compiled per collective.
+//     inter-chip crossbar, inter-rank bus) compiled per collective;
+//   - CXL-PIM: the architectural-crossover model — the same PIM devices
+//     behind a switched CXL fabric, trading link latency on small
+//     transfers for full-duplex per-device bandwidth and relaxed
+//     capacity (see internal/cxlpim and the crossover experiment).
 //
 // The library includes the full evaluation stack: the eight application
 // workloads of the paper (BFS, CC, GEMV, MLP, SpMV, EMB, NTT, Join) built
@@ -160,8 +164,8 @@ func NewNDPBridge(sys System) (*baselines.NDPBridge, error) { return baselines.N
 // NewMachine binds a system and a backend into a workload runner.
 func NewMachine(sys System, be Backend) (*Machine, error) { return machine.New(sys, be) }
 
-// Backends builds all five comparison backends for one system shape, in the
-// paper's figure order (B, S, N, D, P). The option list is applied to every
+// Backends builds all six comparison backends for one system shape, in
+// figure order (B, S, N, D, P, C). The option list is applied to every
 // backend; options a kind does not support are ignored for that kind, so one
 // tracer (or fault spec) configures the whole comparison set.
 func Backends(sys System, opts ...Option) ([]Backend, error) {
@@ -181,6 +185,13 @@ func Backends(sys System, opts ...Option) ([]Backend, error) {
 // given DPU population. scaled selects reduced inputs for quick runs.
 func EvaluationSuite(nodes int, seed int64, scaled bool) ([]Workload, error) {
 	return workloads.Suite(workloads.SuiteConfig{Nodes: nodes, Seed: seed, Scaled: scaled})
+}
+
+// NamedWorkload resolves one workload by name (case-insensitive, prefix
+// tolerant): the eight Table VII applications plus the PIMfused fused-layer
+// CNN class, which is not part of the paper suite.
+func NamedWorkload(name string, nodes int, seed int64, scaled bool) (Workload, error) {
+	return workloads.Named(name, workloads.SuiteConfig{Nodes: nodes, Seed: seed, Scaled: scaled})
 }
 
 // Speedup returns a.Total / b.Total.

@@ -33,10 +33,10 @@ func TestFacadeBackends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(bes) != 5 {
+	if len(bes) != 6 {
 		t.Fatalf("backends = %d", len(bes))
 	}
-	want := []string{"Baseline", "Software(Ideal)", "NDPBridge", "DIMM-Link", "PIMnet"}
+	want := []string{"Baseline", "Software(Ideal)", "NDPBridge", "DIMM-Link", "PIMnet", "CXL-PIM"}
 	for i, be := range bes {
 		if be.Name() != want[i] {
 			t.Fatalf("backend %d = %s, want %s", i, be.Name(), want[i])

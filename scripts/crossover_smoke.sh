@@ -1,0 +1,48 @@
+#!/bin/sh
+# Crossover smoke test: run the six-backend DIMM-attached vs CXL-attached
+# study (`pimnetbench -fig crossover`) on the reduced -scaled grid and
+# prove (a) every backend column — including the new CXL-PIM — is present
+# with real latencies, and (b) the rendered CSV is byte-identical across
+# sweep worker-pool sizes, the determinism contract every experiment
+# honors. `make check` runs it as `make crossover-smoke`.
+set -eu
+
+workdir=$(mktemp -d /tmp/pimnet-crossover-smoke.XXXXXX)
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "crossover-smoke: FAIL: $*" >&2
+    echo "--- csv (workers=1) ---" >&2
+    cat "$workdir/w1.csv" >&2 || true
+    exit 1
+}
+
+go build -o "$workdir/pimnetbench" ./cmd/pimnetbench
+
+"$workdir/pimnetbench" -fig crossover -scaled -csv -workers 1 > "$workdir/w1.csv" \
+    || fail "pimnetbench -fig crossover exited non-zero"
+
+# The header must carry all six backends in figure order plus the headline
+# ratio and winner columns.
+head -2 "$workdir/w1.csv" | grep -q 'Baseline,Software(Ideal),NDPBridge,DIMM-Link,PIMnet,CXL-PIM,PIMnet/CXL-PIM,winner' \
+    || fail "six-backend header missing: $(head -2 "$workdir/w1.csv")"
+
+# The scaled grid is 2x2; every cell must resolve a winner and a positive
+# PIMnet/CXL-PIM ratio. NDPBridge legitimately renders n/a on AllReduce
+# (no in-network reduction), but the headline columns may not.
+rows=$(grep -c '^[0-9]' "$workdir/w1.csv") || true
+[ "$rows" = "4" ] || fail "expected 4 grid rows, got $rows"
+grep '^[0-9]' "$workdir/w1.csv" | awk -F, '
+    $7 == "n/a" || $8 == "n/a" { print "missing plan-compiling backend: " $0; bad = 1 }
+    $9 + 0 <= 0               { print "non-positive PIMnet/CXL-PIM ratio: " $0; bad = 1 }
+    $10 == ""                 { print "no winner: " $0; bad = 1 }
+    END { exit bad }' \
+    || fail "crossover cells incomplete"
+
+# Determinism: the bytes must not depend on the worker-pool size.
+"$workdir/pimnetbench" -fig crossover -scaled -csv -workers 4 > "$workdir/w4.csv"
+cmp -s "$workdir/w1.csv" "$workdir/w4.csv" \
+    || fail "crossover CSV diverges between -workers 1 and -workers 4"
+
+echo "crossover-smoke: OK ($rows cells, six backends, bytes identical at workers 1 vs 4)"

@@ -126,11 +126,12 @@ curl -fsS "$base/metrics" > "$workdir/metrics.prom" || fail "metrics fetch"
     "$workdir/metrics.prom" \
     || fail "metrics is not valid Prometheus exposition (see promcheck output)"
 
-# The deprecated JSON snapshot stays at /metrics.json for one release.
-curl -fsS "$base/metrics.json" | grep -q '"plan_cache":' \
-    || fail "metrics.json missing plan-cache stats"
-curl -fsS "$base/metrics.json" | grep -q '"jobs":' \
-    || fail "metrics.json missing jobs section"
+# The deprecated /metrics.json endpoint is gone: it must answer an
+# enveloped 404, not a snapshot.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/metrics.json")
+[ "$code" = "404" ] || fail "removed /metrics.json got $code, want 404"
+curl -s "$base/metrics.json" | grep -q '"error":' \
+    || fail "/metrics.json 404 is not the unified error envelope"
 
 # A malformed request must be a structured 400, not a connection error.
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/simulate" \

@@ -79,24 +79,16 @@ warm_ms=$(( ($(date +%s%N) - warm_start) / 1000000 ))
 cmp -s "$workdir/cold.json" "$workdir/warm.json" \
     || fail "warm restart changed bytes: $(cat "$workdir/warm.json")"
 
-# The warm run's /metrics must prove zero plan compiles (plan_cache misses
-# == 0) and that every grid point was a store read (results hits == points).
-curl -fsS "$base/metrics" > "$workdir/metrics.json"
-plan_cache=$(sed -n 's/.*"plan_cache":{\([^}]*\)}.*/\1/p' "$workdir/metrics.json")
-case "$plan_cache" in
-    *'"misses":0'*) ;;
-    *) fail "warm daemon compiled plans: plan_cache = {$plan_cache}" ;;
-esac
-results=$(sed 's/.*"store"://' "$workdir/metrics.json" \
-    | sed -n 's/.*"results":{\([^}]*\)}.*/\1/p')
-case "$results" in
-    *'"hits":'$points','*) ;;
-    *) fail "store results hits != $points: results = {$results}" ;;
-esac
-case "$results" in
-    *'"corrupt":0'*) ;;
-    *) fail "store rejected blobs on a clean restart: results = {$results}" ;;
-esac
+# The warm run's /metrics (Prometheus text) must prove zero plan compiles
+# (plan-cache misses == 0) and that every grid point was a store read
+# (results-namespace hits == points).
+curl -fsS "$base/metrics" > "$workdir/metrics.prom"
+grep -q '^pimnetd_plan_cache_misses_total 0$' "$workdir/metrics.prom" \
+    || fail "warm daemon compiled plans: $(grep '^pimnetd_plan_cache' "$workdir/metrics.prom")"
+grep -q "^pimnetd_store_hits_total{namespace=\"results\"} $points\$" "$workdir/metrics.prom" \
+    || fail "store results hits != $points: $(grep '^pimnetd_store_hits' "$workdir/metrics.prom")"
+grep -q '^pimnetd_store_corrupt_total{namespace="results"} 0$' "$workdir/metrics.prom" \
+    || fail "store rejected blobs on a clean restart: $(grep '^pimnetd_store_corrupt' "$workdir/metrics.prom")"
 
 stop_daemon
 grep -q "drained, exiting" "$workdir/pimnetd.log" || fail "daemon did not report a clean drain"
